@@ -1,0 +1,32 @@
+//! Criterion version of Figure 8's microbenchmarks (E5): whole-run
+//! throughput of `syncInc`/`racyInc` per engine, at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drink_workloads::{racy_inc, run_kind, sync_inc, EngineKind};
+
+fn bench_micro(c: &mut Criterion) {
+    let threads = 4;
+    let iters = 2_000;
+    let mut g = c.benchmark_group("figure8");
+    g.sample_size(10);
+
+    for (name, spec) in [
+        ("syncInc", sync_inc(threads, iters)),
+        ("racyInc", racy_inc(threads, iters)),
+    ] {
+        for kind in [
+            EngineKind::Baseline,
+            EngineKind::Pessimistic,
+            EngineKind::Optimistic,
+            EngineKind::Hybrid,
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, kind.label()), &spec, |b, spec| {
+                b.iter(|| run_kind(kind, spec))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

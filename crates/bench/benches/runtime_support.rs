@@ -1,0 +1,39 @@
+//! Criterion version of Figure 9 (E6/E7): recorder, replayer, and RS
+//! enforcer throughput on one mid-conflict profile, at reduced scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drink_workloads::{
+    by_name, record, replay, run_kind, run_rs, EngineKind, RecorderKind, RsKind,
+};
+
+fn bench_support(c: &mut Criterion) {
+    let mut spec = by_name("pmd9").expect("profile exists").spec;
+    spec.steps_per_thread /= 10;
+
+    let mut g = c.benchmark_group("figure9");
+    g.sample_size(10);
+
+    g.bench_function("baseline", |b| {
+        b.iter(|| run_kind(EngineKind::Baseline, &spec))
+    });
+    g.bench_function("opt_recorder", |b| {
+        b.iter(|| record(RecorderKind::Optimistic, &spec))
+    });
+    g.bench_function("hybrid_recorder", |b| {
+        b.iter(|| record(RecorderKind::Hybrid, &spec))
+    });
+
+    let log = record(RecorderKind::Hybrid, &spec).log;
+    g.bench_function("hybrid_replayer", |b| b.iter(|| replay(&spec, log.clone())));
+
+    g.bench_function("opt_rs_enforcer", |b| {
+        b.iter(|| run_rs(RsKind::Optimistic, &spec))
+    });
+    g.bench_function("hybrid_rs_enforcer", |b| {
+        b.iter(|| run_rs(RsKind::Hybrid, &spec))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_support);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion version of Figure 7 (E4) on three representative profiles:
+//! one low-conflict (lusearch9), one high-conflict (xalan6), one racy
+//! (pjbb2005), at reduced scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drink_workloads::{by_name, run_kind, EngineKind};
+
+fn bench_tracking(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure7");
+    g.sample_size(10);
+
+    for name in ["lusearch9", "xalan6", "pjbb2005"] {
+        let mut spec = by_name(name).expect("profile exists").spec;
+        spec.steps_per_thread /= 10; // criterion runs each config many times
+        for kind in [
+            EngineKind::Baseline,
+            EngineKind::Optimistic,
+            EngineKind::Hybrid,
+        ] {
+            g.bench_with_input(BenchmarkId::new(name, kind.label()), &spec, |b, spec| {
+                b.iter(|| run_kind(kind, spec))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tracking);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for individual transition kinds (E1's
+//! statistical companion): fast paths and single-CAS slow paths, measured in
+//! isolation per engine.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use drink_core::prelude::*;
+use drink_runtime::{ObjId, Runtime, RuntimeConfig};
+
+fn fresh_rt() -> Arc<Runtime> {
+    Arc::new(Runtime::new(RuntimeConfig::sized(2, 8, 1)))
+}
+
+fn bench_fast_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("same_state_access");
+
+    {
+        let engine = NoTracking::new(fresh_rt());
+        let t = engine.attach();
+        engine.alloc_init(ObjId(0), t);
+        g.bench_function("baseline_write", |b| {
+            b.iter(|| engine.write(t, ObjId(0), 1))
+        });
+    }
+    {
+        let engine = OptimisticEngine::new(fresh_rt());
+        let t = engine.attach();
+        engine.alloc_init(ObjId(0), t);
+        g.bench_function("optimistic_write", |b| {
+            b.iter(|| engine.write(t, ObjId(0), 1))
+        });
+        g.bench_function("optimistic_read", |b| b.iter(|| engine.read(t, ObjId(0))));
+    }
+    {
+        let engine = HybridEngine::new(fresh_rt());
+        let t = engine.attach();
+        engine.alloc_init(ObjId(0), t);
+        g.bench_function("hybrid_write", |b| b.iter(|| engine.write(t, ObjId(0), 1)));
+    }
+    {
+        let engine = PessimisticEngine::new(fresh_rt());
+        let t = engine.attach();
+        engine.alloc_init(ObjId(0), t);
+        g.bench_function("pessimistic_write", |b| {
+            b.iter(|| engine.write(t, ObjId(0), 1))
+        });
+    }
+    g.finish();
+}
+
+fn bench_upgrades(c: &mut Criterion) {
+    let mut g = c.benchmark_group("upgrading_transition");
+    {
+        // RdEx(T) → WrEx(T) → (reset) in a loop: upgrade CAS + reset store.
+        let engine = OptimisticEngine::new(fresh_rt());
+        let t = engine.attach();
+        engine.alloc_init(ObjId(0), t);
+        g.bench_function("optimistic_rdex_to_wrex", |b| {
+            b.iter(|| {
+                engine.rt().obj(ObjId(0)).state().store(
+                    drink_core::word::StateWord::rd_ex_opt(t).0,
+                    std::sync::atomic::Ordering::SeqCst,
+                );
+                engine.write(t, ObjId(0), 1);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_implicit_conflict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conflicting_transition");
+    g.sample_size(20);
+    {
+        // Conflict against a detached (blocked) thread: implicit coordination.
+        let rt = fresh_rt();
+        let engine = OptimisticEngine::new(rt);
+        std::thread::scope(|s| {
+            let e = &engine;
+            s.spawn(move || {
+                let t0 = e.attach();
+                e.alloc_init(ObjId(0), t0);
+                e.detach(t0);
+            })
+            .join()
+            .unwrap();
+        });
+        let t1 = engine.attach();
+        g.bench_function("implicit_vs_blocked", |b| {
+            b.iter(|| {
+                // Reset ownership to the dead thread, then conflict.
+                engine.alloc_init(ObjId(0), drink_runtime::ThreadId(0));
+                engine.write(t1, ObjId(0), 2);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_paths,
+    bench_upgrades,
+    bench_implicit_conflict
+);
+criterion_main!(benches);

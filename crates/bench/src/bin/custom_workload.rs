@@ -1,0 +1,106 @@
+//! Run a user-supplied workload (JSON `WorkloadSpec`) under any tracking
+//! configuration — the downstream-user entry point for experimenting with
+//! communication patterns beyond the built-in 13 profiles.
+//!
+//! ```bash
+//! # Print a template spec:
+//! cargo run --release -p drink-bench --bin custom_workload -- --template > my.json
+//! # Run it under every Figure-7 configuration:
+//! cargo run --release -p drink-bench --bin custom_workload -- my.json
+//! # Or a single engine:
+//! cargo run --release -p drink-bench --bin custom_workload -- my.json hybrid
+//! ```
+
+use drink_bench::{model_overhead_pct, overhead_pct, row, DEFAULT_WORK_PER_ACCESS};
+use drink_workloads::{run_kind, EngineKind, WorkloadSpec};
+
+fn template() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "custom".into(),
+        ..WorkloadSpec::default()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--template") {
+        println!("{}", serde_json::to_string_pretty(&template()).unwrap());
+        return;
+    }
+    let Some(path) = args.first() else {
+        eprintln!("usage: custom_workload <spec.json> [baseline|pessimistic|optimistic|hybrid|hybrid-inf|ideal]");
+        eprintln!("       custom_workload --template   # print a starting spec");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let spec: WorkloadSpec = serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("invalid spec: {e}");
+        std::process::exit(2);
+    });
+
+    let kinds: Vec<EngineKind> = match args.get(1).map(String::as_str) {
+        None => {
+            let mut v = vec![EngineKind::Baseline];
+            v.extend(EngineKind::FIGURE7);
+            v
+        }
+        Some("baseline") => vec![EngineKind::Baseline],
+        Some("pessimistic") => vec![EngineKind::Baseline, EngineKind::Pessimistic],
+        Some("optimistic") => vec![EngineKind::Baseline, EngineKind::Optimistic],
+        Some("hybrid") => vec![EngineKind::Baseline, EngineKind::Hybrid],
+        Some("hybrid-inf") => vec![EngineKind::Baseline, EngineKind::HybridInfiniteCutoff],
+        Some("ideal") => vec![EngineKind::Baseline, EngineKind::Ideal],
+        Some(other) => {
+            eprintln!("unknown engine: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "workload '{}': {} threads × {} steps, {} objects",
+        spec.name,
+        spec.threads,
+        spec.steps_per_thread,
+        spec.heap_objects()
+    );
+    let widths = [34, 10, 9, 9, 12, 11, 10];
+    println!(
+        "{}",
+        row(
+            &["engine", "wall ms", "wall %", "model %", "conflicting", "pess unc", "contended"]
+                .map(String::from),
+            &widths
+        )
+    );
+
+    let mut base_wall = None;
+    for kind in kinds {
+        let r = run_kind(kind, &spec);
+        if kind == EngineKind::Baseline {
+            base_wall = Some(r.wall);
+        }
+        let base = base_wall.unwrap_or(r.wall);
+        println!(
+            "{}",
+            row(
+                &[
+                    kind.label().to_string(),
+                    format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+                    if kind == EngineKind::Baseline {
+                        "-".into()
+                    } else {
+                        format!("{:.0}", overhead_pct(r.wall, base))
+                    },
+                    format!("{:.0}", model_overhead_pct(&r.report, DEFAULT_WORK_PER_ACCESS)),
+                    format!("{}", r.report.opt_conflicting()),
+                    format!("{}", r.report.pess_uncontended()),
+                    format!("{}", r.report.pess_contended()),
+                ],
+                &widths
+            )
+        );
+    }
+}

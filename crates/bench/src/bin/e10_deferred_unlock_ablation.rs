@@ -1,0 +1,124 @@
+//! E10: ablate **deferred unlocking** — the paper's central §3.1 insight.
+//!
+//! The paper's initial design "added conditional instrumentation after every
+//! program access, to unlock the state when it was pessimistic ... [and]
+//! added significant overhead". Deferred unlocking replaced it. This harness
+//! quantifies the difference by running hybrid tracking with
+//! `eager_unlock = true` (the strawman) against the real thing.
+//!
+//! What deferral buys, mechanically:
+//! * **reentrancy**: repeated accesses to held states are atomic-op-free;
+//!   eager unlocking re-CASes the state word on every access;
+//! * **fewer ownership flaps**: a locked state cannot be stolen between two
+//!   accesses of the same synchronization-free region;
+//! * **recordability**: release-clock edges only exist because unlocks are
+//!   pinned to PSROs (the eager mode cannot support the recorder at all).
+
+use drink_bench::{
+    banner, model_overhead_pct, overhead_pct, row, run_trials, scale_from_args, scaled_spec,
+    DEFAULT_WORK_PER_ACCESS,
+};
+use drink_core::engine::hybrid::{HybridConfig, HybridEngine};
+use drink_core::support::NullSupport;
+use drink_runtime::Event;
+use drink_workloads::{all_profiles, run_workload, runtime_for, sync_inc, EngineKind, WorkloadSpec};
+
+fn run_hybrid(spec: &WorkloadSpec, eager: bool) -> drink_workloads::RunResult {
+    let rt = runtime_for(spec);
+    let engine = HybridEngine::with_config(
+        rt,
+        NullSupport,
+        HybridConfig {
+            eager_unlock: eager,
+            ..HybridConfig::default()
+        },
+    );
+    run_workload(&engine, spec)
+}
+
+fn main() {
+    banner(
+        "E10 e10_deferred_unlock_ablation",
+        "§3.1 deferred unlocking vs. the paper's initial eager design",
+    );
+    let scale = scale_from_args();
+    let trials = 3;
+
+    let widths = [10, 14, 14, 12, 12];
+    println!("(wall% / model%; 'unlocks' counts per-access state releases)");
+    println!(
+        "{}",
+        row(
+            &["program", "deferred", "eager", "reentrant", "unlocks(e)"].map(String::from),
+            &widths
+        )
+    );
+
+    // The high-pessimistic-traffic programs plus syncInc, where the
+    // difference is starkest.
+    let mut specs: Vec<WorkloadSpec> = all_profiles()
+        .into_iter()
+        .filter(|p| ["hsqldb6", "xalan6", "xalan9", "pjbb2005"].contains(&p.spec.name.as_str()))
+        .map(|p| p.spec)
+        .collect();
+    specs.push(sync_inc(8, ((40_000.0 * scale) as usize).max(500)));
+
+    for spec in specs {
+        let spec = if spec.name == "syncInc" {
+            spec
+        } else {
+            scaled_spec(&spec, scale)
+        };
+        let (base_wall, _) = run_trials(EngineKind::Baseline, &spec, trials);
+
+        let mut deferred_cell = String::new();
+        let mut eager_cell = String::new();
+        let mut reentrant = 0;
+        let mut eager_unlocks = 0;
+        for eager in [false, true] {
+            let mut walls = Vec::new();
+            let mut last = None;
+            for _ in 0..trials {
+                let r = run_hybrid(&spec, eager);
+                walls.push(r.wall);
+                last = Some(r);
+            }
+            walls.sort();
+            let r = last.unwrap();
+            let cell = format!(
+                "{:.0}/{:.0}",
+                overhead_pct(walls[walls.len() / 2], base_wall),
+                model_overhead_pct(&r.report, DEFAULT_WORK_PER_ACCESS)
+            );
+            if eager {
+                eager_cell = cell;
+                eager_unlocks = r.report.get(Event::StateUnlocked);
+            } else {
+                deferred_cell = cell;
+                reentrant = r.report.get(Event::PessReentrant);
+            }
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    deferred_cell,
+                    eager_cell,
+                    format!("{reentrant}"),
+                    format!("{eager_unlocks}"),
+                ],
+                &widths
+            )
+        );
+    }
+
+    println!();
+    println!("Shape checks: eager unlocking pays an extra state release per");
+    println!("pessimistic access — compare the 'unlocks' column against the");
+    println!("handful deferred unlocking performs at PSROs — and loses all");
+    println!("reentrancy. The model column prices those releases; wall clock on");
+    println!("few-core hosts may not resolve the ~CAS-sized per-access cost, but");
+    println!("the structural regression matches the paper's account of its");
+    println!("initial design adding \"significant overhead\" (§3.1).");
+}

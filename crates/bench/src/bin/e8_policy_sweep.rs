@@ -1,0 +1,106 @@
+//! E8: the §7.3 parameter study — sensitivity of hybrid tracking to the
+//! adaptive policy's parameters.
+//!
+//! The paper: "larger values of Cutoff_confl have little impact (except for
+//! avrora9) ... various values for K_confl (20–1,600) and Inertia (20–1,600)
+//! are effective." We sweep each parameter on representative high-conflict
+//! workloads and report conflicting transitions + model overhead per
+//! setting.
+
+use drink_bench::{banner, model_overhead_pct, row, scale_from_args, scaled_spec, sci, DEFAULT_WORK_PER_ACCESS};
+use drink_core::engine::hybrid::{HybridConfig, HybridEngine};
+use drink_core::policy::PolicyParams;
+use drink_core::support::NullSupport;
+use drink_workloads::{by_name, run_workload, runtime_for, WorkloadSpec};
+
+fn run_with(spec: &WorkloadSpec, params: PolicyParams) -> (u64, u64, f64) {
+    let rt = runtime_for(spec);
+    let engine = HybridEngine::with_config(
+        rt,
+        NullSupport,
+        HybridConfig {
+            policy: params,
+            ..HybridConfig::default()
+        },
+    );
+    let r = run_workload(&engine, spec);
+    (
+        r.report.opt_conflicting(),
+        r.report.opt_to_pess(),
+        model_overhead_pct(&r.report, DEFAULT_WORK_PER_ACCESS),
+    )
+}
+
+fn main() {
+    banner("E8 e8_policy_sweep", "§7.3 policy-parameter sensitivity");
+    let scale = scale_from_args();
+    let programs = ["xalan6", "avrora9", "pjbb2005"];
+    let widths = [10, 20, 12, 10, 10];
+
+    println!(
+        "{}",
+        row(
+            &["program", "params", "conflicting", "opt→pess", "model %"].map(String::from),
+            &widths
+        )
+    );
+
+    for name in programs {
+        let spec = scaled_spec(&by_name(name).unwrap().spec, scale);
+
+        // Cutoff_confl sweep (paper default 4; ∞ = never pessimistic).
+        for cutoff in [1u32, 4, 16, 64, u32::MAX] {
+            let p = PolicyParams {
+                cutoff_confl: cutoff,
+                ..PolicyParams::default()
+            };
+            let (confl, moved, model) = run_with(&spec, p);
+            let label = if cutoff == u32::MAX {
+                "cutoff=∞".to_string()
+            } else {
+                format!("cutoff={cutoff}")
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        name.to_string(),
+                        label,
+                        sci(confl as f64),
+                        sci(moved as f64),
+                        format!("{model:.0}"),
+                    ],
+                    &widths
+                )
+            );
+        }
+        // K_confl / Inertia sweeps at the paper's ranges.
+        for (k, inertia) in [(20u32, 100u32), (200, 100), (1_600, 100), (200, 20), (200, 1_600)] {
+            let p = PolicyParams {
+                k_confl: k,
+                inertia,
+                ..PolicyParams::default()
+            };
+            let (confl, moved, model) = run_with(&spec, p);
+            println!(
+                "{}",
+                row(
+                    &[
+                        name.to_string(),
+                        format!("K={k},I={inertia}"),
+                        sci(confl as f64),
+                        sci(moved as f64),
+                        format!("{model:.0}"),
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!();
+    }
+
+    println!("Shape checks: cutoff=∞ leaves conflicting transitions at the");
+    println!("optimistic level (no benefit); small finite cutoffs capture most of");
+    println!("the reduction; K_confl/Inertia across 20–1,600 change results only");
+    println!("marginally — the paper's 'performance is not very sensitive' claim.");
+}

@@ -1,0 +1,55 @@
+//! E2: regenerate **Figure 6** — cumulative distribution of conflicting
+//! transitions (explicit coordination only) triggered per object, under
+//! optimistic tracking alone.
+//!
+//! For each point `(x, y)`: `y` is the percentage of all accesses that were
+//! conflicting transitions numbered ≤ `x` on their object. The paper's
+//! reading: each object's first few conflicts are an insignificant fraction
+//! of accesses, so a small `Cutoff_confl` (they use 4) catches most
+//! conflicting accesses "in advance" — the limit-study justification of the
+//! adaptive policy (§7.3).
+
+use drink_bench::{banner, row, scale_from_args, scaled_spec};
+use drink_workloads::{all_profiles, run_kind, EngineKind};
+
+fn main() {
+    banner("E2 fig6_conflict_cdf", "Figure 6 (per-object conflict CDF)");
+    let scale = scale_from_args();
+    let xs = [1u32, 2, 4, 8, 16, 64, 256, 1024, u32::MAX];
+
+    let mut widths = vec![10usize];
+    widths.extend(std::iter::repeat_n(9, xs.len()));
+    let mut header = vec!["program".to_string()];
+    header.extend(xs.iter().map(|&x| {
+        if x == u32::MAX {
+            "max(rate)".into()
+        } else {
+            format!("x={x}")
+        }
+    }));
+    println!("(cells: % of all accesses; '-' = conflict rate < 0.0001%, as the");
+    println!(" paper excludes such programs from the figure)");
+    println!("{}", row(&header, &widths));
+
+    for profile in all_profiles() {
+        let spec = scaled_spec(&profile.spec, scale);
+        let r = run_kind(EngineKind::Optimistic, &spec);
+        let rate = r.report.explicit_conflict_rate() * 100.0;
+        let mut cells = vec![spec.name.clone()];
+        if rate < 0.0001 {
+            cells.extend(std::iter::repeat_n("-".to_string(), xs.len()));
+        } else {
+            for &x in &xs {
+                cells.push(format!("{:.4}", r.conflict_cdf(x) * 100.0));
+            }
+        }
+        println!("{}", row(&cells, &widths));
+    }
+
+    println!();
+    println!("Shape checks: curves rise slowly for small x (an object's first few");
+    println!("conflicts are rare relative to all accesses), and high-conflict");
+    println!("programs concentrate most conflicts on objects with many conflicts");
+    println!("(large gap between x=4 and max). Cutoff_confl = 4 therefore leaves");
+    println!("only a small fraction of conflicting accesses uncaught.");
+}

@@ -1,0 +1,91 @@
+//! E4: regenerate **Figure 7** — run-time overhead of pessimistic and
+//! optimistic tracking, compared with hybrid tracking (plus the
+//! infinite-cutoff and unsound-Ideal configurations).
+//!
+//! Prints wall-clock overhead over the untracked baseline and the
+//! cycle-model overhead (platform-independent; see `drink-bench` docs), plus
+//! the paper's stated values where the text gives them (xalan6 65→24,
+//! xalan9 19→5, pjbb2005 110→49; averages 340/28/[opt+2.3]/22/14).
+
+use drink_bench::{
+    banner, geomean_overhead, model_overhead_pct, overhead_pct, row, run_trials, scale_from_args,
+    scaled_spec, trials_from_args, DEFAULT_WORK_PER_ACCESS,
+};
+use drink_workloads::{all_profiles, EngineKind};
+
+fn main() {
+    banner("E4 fig7_tracking_overhead", "Figure 7 (tracking-alone overhead)");
+    let scale = scale_from_args();
+    // The paper: median of 20 trials with 95% CIs. Override with --trials.
+    let trials = trials_from_args(5);
+
+    let configs = EngineKind::FIGURE7;
+    let widths = [10, 12, 12, 12, 12, 12];
+    let mut header = vec!["program".to_string()];
+    header.extend(
+        ["Pess", "Opt", "Hyb(∞)", "Hybrid", "Ideal"]
+            .iter()
+            .map(|s| s.to_string()),
+    );
+    println!("(each cell: wall% / model%; wall = median of {trials} trials)");
+    println!("{}", row(&header, &widths));
+
+    let mut per_config_wall: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+    let mut per_config_model: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
+
+    for profile in all_profiles() {
+        let spec = scaled_spec(&profile.spec, scale);
+        let (base_wall, _) = run_trials(EngineKind::Baseline, &spec, trials);
+        let mut cells = vec![spec.name.clone()];
+        for (i, kind) in configs.iter().enumerate() {
+            let (wall, result) = run_trials(*kind, &spec, trials);
+            let w = overhead_pct(wall, base_wall);
+            let m = model_overhead_pct(&result.report, DEFAULT_WORK_PER_ACCESS);
+            per_config_wall[i].push(w);
+            per_config_model[i].push(m);
+            cells.push(format!("{w:.0}/{m:.0}"));
+        }
+        println!("{}", row(&cells, &widths));
+        if let (Some(o), Some(h)) = (
+            profile.paper.overhead_opt_pct,
+            profile.paper.overhead_hybrid_pct,
+        ) {
+            println!(
+                "{}",
+                row(
+                    &[
+                        "  [paper]".into(),
+                        "-".into(),
+                        format!("{o:.0}"),
+                        "-".into(),
+                        format!("{h:.0}"),
+                        "-".into(),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+
+    println!();
+    let mut cells = vec!["geomean".to_string()];
+    for i in 0..configs.len() {
+        cells.push(format!(
+            "{:.0}/{:.0}",
+            geomean_overhead(&per_config_wall[i]),
+            geomean_overhead(&per_config_model[i])
+        ));
+    }
+    println!("{}", row(&cells, &widths));
+    println!(
+        "{}",
+        row(
+            &["[paper avg]".into(), "340".into(), "28".into(), "opt+2.3".into(), "22".into(), "14".into()],
+            &widths
+        )
+    );
+    println!();
+    println!("Shape checks: Pessimistic ≫ everything; Hybrid ≤ Optimistic overall;");
+    println!("Hybrid ≪ Optimistic for xalan6/xalan9/pjbb2005; Ideal lowest of the");
+    println!("sound-ish configurations; Hyb(∞) slightly above Optimistic.");
+}

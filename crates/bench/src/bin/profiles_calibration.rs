@@ -1,0 +1,67 @@
+//! Calibration helper: measured vs. target communication profile for each of
+//! the 13 workloads. Not a paper artifact itself — it verifies that the
+//! synthetic workloads land in the right conflict-rate regime before the
+//! table/figure harnesses are trusted.
+
+use drink_bench::{banner, row, scale_from_args, scaled_spec, sci};
+use drink_workloads::{all_profiles, run_kind, EngineKind};
+
+fn main() {
+    banner("profiles_calibration", "workload-profile calibration (not a paper artifact)");
+    let scale = scale_from_args();
+
+    let widths = [10, 10, 12, 12, 8, 12, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "program", "accesses", "confl rate", "paper rate", "ratio", "implicit %",
+                "paper char"
+            ]
+            .map(String::from),
+            &widths
+        )
+    );
+
+    for profile in all_profiles() {
+        let spec = scaled_spec(&profile.spec, scale);
+        let r = run_kind(EngineKind::Optimistic, &spec).report;
+        let rate = r.explicit_conflict_rate();
+        let paper_rate = profile.paper.conflict_rate();
+        let ratio = if paper_rate > 0.0 { rate / paper_rate } else { f64::NAN };
+        let implicit_pct = if r.opt_conflicting() > 0 {
+            100.0 * r.get(drink_runtime::Event::OptConflictImplicit) as f64
+                / r.opt_conflicting() as f64
+        } else {
+            0.0
+        };
+        let character = if profile.paper.pess_contended > 1e5 {
+            "racy"
+        } else if paper_rate > 1e-3 {
+            "high-conf"
+        } else if paper_rate > 1e-4 {
+            "mid-conf"
+        } else {
+            "low-conf"
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    spec.name.clone(),
+                    sci(r.accesses() as f64),
+                    format!("{rate:.2e}"),
+                    format!("{paper_rate:.2e}"),
+                    if ratio.is_nan() { "-".into() } else { format!("{ratio:.1}x") },
+                    format!("{implicit_pct:.0}"),
+                    character.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("Aim: ratio within ~an order of magnitude (0.1x–10x), and the");
+    println!("clustering {{low, mid, high, racy}} preserved. hsqldb6 should show a");
+    println!("high implicit share; xalan6/9 a low one.");
+}

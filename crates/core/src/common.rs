@@ -1,0 +1,558 @@
+//! Shared engine plumbing: the pieces every tracking engine needs regardless
+//! of protocol — per-thread state slots, safe point responses, lock-buffer
+//! flushes, PSRO handling, monitor operations, attach/detach lifecycle.
+//!
+//! [`EngineCommon`] implements [`RtHooks`], so the substrate's monitors call
+//! straight into the protocol-independent parts of the instrumentation:
+//!
+//! * `on_psro` — flush the lock buffer (deferred unlocking, §3.1), bump the
+//!   release clock, notify support;
+//! * `before_block`/`on_blocked_publish` — the blocking-safe-point sequence
+//!   that makes implicit coordination sound: flush, bump, publish, answer
+//!   raced requests;
+//! * `after_unblock` — observe implicit coordination;
+//! * `poll` — the responding-safe-point fast path (one relaxed load when no
+//!   request is pending).
+//!
+//! Engines that have no pessimistic states (optimistic, pessimistic-alone)
+//! still share this code: their lock buffers are simply always empty.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use drink_runtime::{
+    Event, MonitorId, ObjId, RtHooks, Runtime, ThreadId,
+};
+
+use crate::policy::AdaptivePolicy;
+use crate::support::{Support, SupportCx};
+use crate::tstate::{OwnedByThread, ThreadState};
+use crate::word::StateWord;
+
+/// Protocol-independent engine state shared by all tracking engines.
+pub struct EngineCommon<S: Support> {
+    /// The runtime this engine instruments.
+    pub rt: Arc<Runtime>,
+    /// The runtime support observing this engine.
+    pub support: S,
+    /// The adaptive policy (only the hybrid engine consults it on accesses,
+    /// but flushes are shared).
+    pub policy: AdaptivePolicy,
+    per_thread: Box<[OwnedByThread<ThreadState>]>,
+}
+
+impl<S: Support> EngineCommon<S> {
+    /// Build engine state for `rt`.
+    pub fn new(rt: Arc<Runtime>, support: S, policy: AdaptivePolicy) -> Self {
+        let n = rt.config().max_threads;
+        let per_thread = (0..n)
+            .map(|i| OwnedByThread::new(ThreadState::new(ThreadId(i as u16))))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        EngineCommon {
+            rt,
+            support,
+            policy,
+            per_thread,
+        }
+    }
+
+    /// Per-thread state of mutator `t`.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the OS thread attached as mutator `t` (see
+    /// [`OwnedByThread`]); the `&mut` aliasing is sound because only that
+    /// thread ever derives a reference from this slot.
+    #[allow(clippy::mut_from_ref)]
+    #[inline(always)]
+    pub unsafe fn ts(&self, t: ThreadId) -> &mut ThreadState {
+        // SAFETY: forwarded to the caller.
+        unsafe { self.per_thread[t.index()].get() }
+    }
+
+    /// Support context for the current state of `ts`.
+    #[inline(always)]
+    pub fn cx<'a>(&'a self, ts: &ThreadState) -> SupportCx<'a> {
+        SupportCx {
+            rt: &self.rt,
+            t: ts.tid,
+            op: ts.op_index,
+        }
+    }
+
+    /// Register the calling OS thread as a mutator and initialize its slot.
+    pub fn attach(&self) -> ThreadId {
+        let t = self.rt.register_thread();
+        self.per_thread[t.index()].reset_owner();
+        // SAFETY: we are the thread that just claimed this slot.
+        unsafe {
+            *self.per_thread[t.index()].get() = ThreadState::new(t);
+        }
+        t
+    }
+
+    /// Detach mutator `t`: thread exit is a PSRO (final flush), after which
+    /// the thread is permanently "blocked" so that remaining and future
+    /// coordination against it resolves implicitly. Merges the thread's
+    /// statistics into the runtime's aggregate.
+    ///
+    /// # Safety
+    ///
+    /// Caller must be the OS thread attached as mutator `t`.
+    pub unsafe fn detach(&self, t: ThreadId) {
+        // SAFETY: caller contract.
+        let ts = unsafe { self.ts(t) };
+        self.psro_flush(ts);
+        let ctl = self.rt.control(t);
+        ctl.publish_blocked();
+        // Answer requests that raced with the status change; later requesters
+        // see BLOCKED and coordinate implicitly forever.
+        let reqs = ctl.take_requests();
+        if !reqs.is_empty() {
+            let clock = ctl.bump_release_clock();
+            ts.stats.bump(Event::RespondedExplicit);
+            self.support.on_responded(self.cx(ts), clock);
+            for req in reqs {
+                req.token.complete(clock);
+            }
+        }
+        assert!(ts.holds_no_locks(), "detached while holding object locks");
+        ts.stats.merge_into(self.rt.stats());
+    }
+
+    // --- Deferred unlocking (§3.1, Figure 10(c)) ---
+
+    /// Unlock every object state in `ts`'s lock buffer, moving each to a
+    /// pessimistic-unlocked or optimistic state per the adaptive policy, and
+    /// clear the read set.
+    pub fn flush_lock_buffer(&self, ts: &mut ThreadState) {
+        if ts.lock_buffer.is_empty() && ts.rd_set.is_empty() {
+            return;
+        }
+        ts.stats.bump(Event::LockBufferFlush);
+        // Swap the buffer out: unlock CASes can trigger support callbacks in
+        // the future, and re-entrant pushes into a borrowed Vec would be UB.
+        let mut buffer = std::mem::take(&mut ts.lock_buffer);
+        for &o in &buffer {
+            self.unlock_one_object(ts, o);
+        }
+        buffer.clear();
+        ts.lock_buffer = buffer;
+        ts.rd_set.clear();
+    }
+
+    /// Unlock this thread's hold on object `o` (one flush step).
+    fn unlock_one_object(&self, ts: &mut ThreadState, o: ObjId) {
+        let obj = self.rt.obj(o);
+        let state = obj.state();
+        let mut cur = state.load(Ordering::Acquire);
+        loop {
+            let w = StateWord(cur);
+            debug_assert!(
+                w.is_pess_locked(),
+                "lock buffer entry {o:?} not locked: {w:?}"
+            );
+            let to_opt = self.policy.unlock_to_optimistic(obj.profile());
+            let unlocked = w.unlock_one();
+            // An exclusive state (or the last RdSh share) may transfer to
+            // optimistic states at unlock time (Figure 3's upper diamond).
+            let new = if unlocked.is_pess_unlocked() && to_opt {
+                unlocked.to_optimistic()
+            } else {
+                unlocked
+            };
+            match state.compare_exchange_weak(cur, new.0, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    ts.stats.bump(Event::StateUnlocked);
+                    if unlocked.is_pess_unlocked() && to_opt {
+                        ts.stats.bump(Event::PessToOpt);
+                    }
+                    return;
+                }
+                // Concurrent RdSh read-lock count changes (or a concurrent
+                // upgrade of our WrExRLock to RdShRLock) can race; retry.
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    // --- Safe points ---
+
+    /// Non-blocking safe point: respond to pending requests, if any. The
+    /// no-request fast path is a single relaxed load.
+    #[inline(always)]
+    pub fn poll(&self, ts: &mut ThreadState) {
+        ts.stats.bump(Event::SafepointPoll);
+        if self.rt.control(ts.tid).has_pending_requests() {
+            self.respond_pending(ts);
+        }
+    }
+
+    /// Respond to all pending explicit requests: yield ownership (support
+    /// rollback hook), flush the lock buffer, bump the release clock, and
+    /// complete the tokens. This is a *responding safe point* (§2.2).
+    ///
+    /// Also invoked from coordination spin loops (Figure 1 line 18) so a
+    /// waiting thread keeps acting as a safe point.
+    #[cold]
+    pub fn respond_pending(&self, ts: &mut ThreadState) {
+        let ctl = self.rt.control(ts.tid);
+        let reqs = ctl.take_requests();
+        if reqs.is_empty() {
+            return;
+        }
+        let requested: Vec<ObjId> = reqs.iter().filter_map(|r| r.obj).collect();
+        self.support.before_yield(
+            self.cx(ts),
+            crate::support::YieldInfo {
+                requested: &requested,
+                pess_locked: &ts.lock_buffer,
+            },
+        );
+        // Bump *before* unlocking: a thread that acquires one of the states
+        // we are about to unlock reads our clock afterwards and must observe
+        // a value that dominates our accesses (see §4.2's edge soundness).
+        let clock = ctl.bump_release_clock();
+        self.flush_lock_buffer(ts);
+        ts.stats.bump(Event::RespondedExplicit);
+        self.support.on_responded(self.cx(ts), clock);
+        for req in reqs {
+            req.token.complete(clock);
+        }
+    }
+
+    /// The respond closure handed to [`crate::coord`] while this thread
+    /// itself waits for a coordination response.
+    #[inline]
+    pub fn respond_closure<'a>(&'a self, ts: &'a mut ThreadState) -> impl FnMut() + 'a {
+        move || {
+            if self.rt.control(ts.tid).has_pending_requests() {
+                self.respond_pending(ts);
+            }
+        }
+    }
+
+    /// Claim a slow-path transition from `cur`. Without pre-publish this
+    /// installs `final_w` directly; with pre-publish ([`Support::PREPUBLISH`])
+    /// it parks the state at `Int(t)` so the caller can run support hooks
+    /// before making the final state observable via
+    /// [`EngineCommon::publish`].
+    #[inline(always)]
+    pub fn claim(
+        &self,
+        state: &std::sync::atomic::AtomicU64,
+        cur: u64,
+        t: ThreadId,
+        final_w: StateWord,
+    ) -> bool {
+        let target = if S::PREPUBLISH {
+            StateWord::int(t).0
+        } else {
+            final_w.0
+        };
+        state
+            .compare_exchange(cur, target, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Second half of [`EngineCommon::claim`]: publish the final state.
+    #[inline(always)]
+    pub fn publish(&self, state: &std::sync::atomic::AtomicU64, final_w: StateWord) {
+        if S::PREPUBLISH {
+            state.store(final_w.0, Ordering::Release);
+        }
+    }
+
+    /// RdSh epoch claiming for transitions that create a RdSh state. Without
+    /// pre-publish, the epoch must be claimed *before* the installing CAS
+    /// (the new state word embeds it); call this first and pass the result
+    /// to [`EngineCommon::post_epoch`] after the claim succeeds. With
+    /// pre-publish, the epoch is instead claimed *inside* the Int window —
+    /// this guarantees that epochs become observable in counter order, which
+    /// the recorder's creation-chain edges require, and that no claimed
+    /// epoch is ever abandoned by a failed CAS.
+    #[inline(always)]
+    pub fn pre_epoch(&self) -> u64 {
+        if S::PREPUBLISH {
+            0
+        } else {
+            self.rt.next_rdsh_count()
+        }
+    }
+
+    /// See [`EngineCommon::pre_epoch`].
+    #[inline(always)]
+    pub fn post_epoch(&self, pre: u64) -> u64 {
+        if S::PREPUBLISH {
+            self.rt.next_rdsh_count()
+        } else {
+            pre
+        }
+    }
+
+    /// PSRO instrumentation: bump the release clock, flush, notify support.
+    /// (Bump-before-flush: see [`EngineCommon::respond_pending`].)
+    pub fn psro_flush(&self, ts: &mut ThreadState) {
+        let clock = self.rt.control(ts.tid).bump_release_clock();
+        self.flush_lock_buffer(ts);
+        self.support.on_release(self.cx(ts), clock);
+    }
+
+    // --- Monitor operations (program synchronization) ---
+
+    /// Monitor acquire: a blocking safe point when contended. Counts as one
+    /// program operation for the deterministic op index.
+    pub fn monitor_acquire(&self, ts: &mut ThreadState, m: MonitorId) {
+        let info = self.rt.monitor_acquire(m, ts.tid, self);
+        ts.stats.bump(if info.blocked {
+            Event::MonitorAcquireBlocked
+        } else {
+            Event::MonitorAcquireFast
+        });
+        self.support
+            .on_monitor_acquire(self.cx(ts), m, info.prev_release);
+        ts.op_index += 1;
+    }
+
+    /// Monitor release: a PSRO. Counts as one program operation.
+    pub fn monitor_release(&self, ts: &mut ThreadState, m: MonitorId) {
+        self.support.on_monitor_release(self.cx(ts), m);
+        self.rt.monitor_release(m, ts.tid, self);
+        ts.stats.bump(Event::MonitorRelease);
+        ts.op_index += 1;
+    }
+
+    /// Monitor wait: PSRO + blocking safe point + re-acquire.
+    pub fn monitor_wait(&self, ts: &mut ThreadState, m: MonitorId) {
+        let info = self.rt.monitor_wait(m, ts.tid, self);
+        ts.stats.bump(Event::MonitorAcquireBlocked);
+        self.support
+            .on_monitor_acquire(self.cx(ts), m, info.prev_release);
+        ts.op_index += 1;
+    }
+}
+
+impl<S: Support> RtHooks for EngineCommon<S> {
+    #[inline]
+    fn poll(&self, t: ThreadId) {
+        // SAFETY: RtHooks callbacks always run on the mutator thread itself.
+        let ts = unsafe { self.ts(t) };
+        self.poll(ts);
+    }
+
+    fn before_block(&self, t: ThreadId) {
+        // SAFETY: as above.
+        let ts = unsafe { self.ts(t) };
+        // Reaching a blocking safe point relinquishes ownership: support gets
+        // its rollback hook (conservatively: everything may transfer while
+        // blocked), the clock is bumped (so implicit coordination can cite it
+        // as an edge source), then pessimistic locks are flushed.
+        self.support.before_yield(
+            self.cx(ts),
+            crate::support::YieldInfo {
+                requested: &[],
+                pess_locked: &ts.lock_buffer,
+            },
+        );
+        let clock = self.rt.control(t).bump_release_clock();
+        self.flush_lock_buffer(ts);
+        self.support.on_release(self.cx(ts), clock);
+    }
+
+    fn on_blocked_publish(&self, t: ThreadId) {
+        // SAFETY: as above.
+        let ts = unsafe { self.ts(t) };
+        // Answer explicit requests that raced with the BLOCKED publication.
+        // The buffer is already flushed; just bump and complete.
+        let ctl = self.rt.control(t);
+        let reqs = ctl.take_requests();
+        if !reqs.is_empty() {
+            let clock = ctl.bump_release_clock();
+            ts.stats.bump(Event::RespondedExplicit);
+            self.support.on_responded(self.cx(ts), clock);
+            for req in reqs {
+                req.token.complete(clock);
+            }
+        }
+    }
+
+    fn after_unblock(&self, t: ThreadId, epoch_bumped: bool) {
+        // SAFETY: as above.
+        let ts = unsafe { self.ts(t) };
+        if epoch_bumped {
+            ts.stats.bump(Event::ImplicitObservedOnWake);
+            self.support.on_wake_after_implicit(self.cx(ts));
+        }
+        // Stale explicit requests may also have queued up while parked.
+        if self.rt.control(t).has_pending_requests() {
+            self.respond_pending(ts);
+        }
+    }
+
+    fn on_psro(&self, t: ThreadId) {
+        // SAFETY: as above.
+        let ts = unsafe { self.ts(t) };
+        self.psro_flush(ts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::support::NullSupport;
+    use crate::word::LockMode;
+    use drink_runtime::RuntimeConfig;
+
+    fn engine() -> EngineCommon<NullSupport> {
+        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 16, 2)));
+        EngineCommon::new(rt, NullSupport, AdaptivePolicy::default())
+    }
+
+    #[test]
+    fn attach_assigns_dense_ids() {
+        let e = engine();
+        assert_eq!(e.attach(), ThreadId(0));
+        assert_eq!(e.attach(), ThreadId(1));
+    }
+
+    #[test]
+    fn flush_unlocks_exclusive_states() {
+        let e = engine();
+        let t = e.attach();
+        let ts = unsafe { e.ts(t) };
+        let o = ObjId(3);
+        e.rt.obj(o)
+            .state()
+            .store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::SeqCst);
+        ts.lock_buffer.push(o);
+        e.flush_lock_buffer(ts);
+        let w = StateWord(e.rt.obj(o).state().load(Ordering::SeqCst));
+        assert_eq!(w, StateWord::wr_ex_pess(t, LockMode::Unlocked));
+        assert!(ts.holds_no_locks());
+    }
+
+    #[test]
+    fn flush_decrements_rdsh_share() {
+        let e = engine();
+        let t = e.attach();
+        let ts = unsafe { e.ts(t) };
+        let o = ObjId(0);
+        e.rt.obj(o)
+            .state()
+            .store(StateWord::rd_sh_pess(7, 3).0, Ordering::SeqCst);
+        ts.lock_buffer.push(o);
+        ts.rd_set.insert(o.0);
+        e.flush_lock_buffer(ts);
+        let w = StateWord(e.rt.obj(o).state().load(Ordering::SeqCst));
+        assert_eq!(w, StateWord::rd_sh_pess(7, 2), "only this thread's share released");
+    }
+
+    #[test]
+    fn flush_respects_policy_to_optimistic() {
+        use crate::policy::{PolicyParams, Phase};
+        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 16, 2)));
+        let e = EngineCommon::new(
+            rt,
+            NullSupport,
+            AdaptivePolicy::new(PolicyParams {
+                cutoff_confl: 1,
+                k_confl: 1,
+                inertia: 1,
+                contended_cutoff: u32::MAX,
+            }),
+        );
+        let t = e.attach();
+        let ts = unsafe { e.ts(t) };
+        let o = ObjId(1);
+        let obj = e.rt.obj(o);
+        obj.state()
+            .store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::SeqCst);
+        // Drive the profile to OptFinal.
+        e.policy.on_explicit_conflict(obj.profile());
+        e.policy.on_pess_transition(obj.profile(), false, false);
+        assert_eq!(AdaptivePolicy::profile(obj.profile()).phase, Phase::OptFinal);
+
+        ts.lock_buffer.push(o);
+        e.flush_lock_buffer(ts);
+        let w = StateWord(obj.state().load(Ordering::SeqCst));
+        assert_eq!(w, StateWord::wr_ex_opt(t), "unlock transfers to optimistic");
+        assert_eq!(ts.stats.get(Event::PessToOpt), 1);
+    }
+
+    #[test]
+    fn respond_pending_flushes_and_completes_tokens() {
+        let e = engine();
+        let t = e.attach();
+        let requester = e.attach();
+        let ts = unsafe { e.ts(t) };
+        let o = ObjId(2);
+        e.rt.obj(o)
+            .state()
+            .store(StateWord::rd_ex_pess(t, LockMode::Read).0, Ordering::SeqCst);
+        ts.lock_buffer.push(o);
+        ts.rd_set.insert(o.0);
+
+        let token = drink_runtime::ResponseToken::new();
+        e.rt.control(t).enqueue_request(drink_runtime::CoordRequest {
+            from: requester,
+            obj: None,
+            token: token.clone(),
+        });
+        e.poll(ts);
+        assert!(token.is_done());
+        assert_eq!(token.responder_clock(), 1);
+        assert!(ts.holds_no_locks());
+        let w = StateWord(e.rt.obj(o).state().load(Ordering::SeqCst));
+        assert!(w.is_pess_unlocked());
+    }
+
+    #[test]
+    fn detach_answers_raced_requests_and_blocks_forever() {
+        let e = engine();
+        let t = e.attach();
+        let requester = e.attach();
+        let token = drink_runtime::ResponseToken::new();
+        e.rt.control(t).enqueue_request(drink_runtime::CoordRequest {
+            from: requester,
+            obj: None,
+            token: token.clone(),
+        });
+        unsafe { e.detach(t) };
+        assert!(token.is_done());
+        assert!(matches!(
+            e.rt.control(t).status(),
+            drink_runtime::ThreadStatus::Blocked { .. }
+        ));
+        // Post-detach coordination resolves implicitly.
+        let ts_req = unsafe { e.ts(requester) };
+        let out = crate::coord::coordinate_one(&e.rt, requester, t, None, &mut || {});
+        assert_eq!(out.mode, crate::support::CoordMode::Implicit);
+        let _ = ts_req;
+    }
+
+    #[test]
+    fn psro_bumps_release_clock() {
+        let e = engine();
+        let t = e.attach();
+        let ts = unsafe { e.ts(t) };
+        assert_eq!(e.rt.control(t).release_clock(), 0);
+        e.psro_flush(ts);
+        assert_eq!(e.rt.control(t).release_clock(), 1);
+    }
+
+    #[test]
+    fn monitor_ops_advance_op_index() {
+        let e = engine();
+        let t = e.attach();
+        let ts = unsafe { e.ts(t) };
+        let m = MonitorId(0);
+        e.monitor_acquire(ts, m);
+        assert_eq!(ts.op_index, 1);
+        e.monitor_release(ts, m);
+        assert_eq!(ts.op_index, 2);
+        assert_eq!(ts.stats.get(Event::MonitorAcquireFast), 1);
+        assert_eq!(ts.stats.get(Event::MonitorRelease), 1);
+        assert_eq!(e.rt.control(t).release_clock(), 1, "release is a PSRO");
+    }
+}

@@ -1,0 +1,295 @@
+//! The coordination client (§2.2, Figure 1's `coordinate`).
+//!
+//! A thread that needs another thread to relinquish access privileges — an
+//! optimistic conflicting transition, or a contended pessimistic transition —
+//! coordinates with it:
+//!
+//! * if the remote thread is **blocked** (parked at a blocking safe point),
+//!   coordination is **implicit**: one CAS advancing the remote status word's
+//!   epoch. The remote thread cannot be mid-access, so the requester may
+//!   proceed immediately; the remote observes the epoch bump when it wakes.
+//! * if the remote thread is **running**, coordination is **explicit**: the
+//!   requester enqueues a request and spins on a response token until the
+//!   remote reaches a safe point. Crucially, *while spinning the requester
+//!   acts as a safe point itself* (Figure 1 line 18) — it keeps responding to
+//!   other threads' requests, which is what makes the protocol deadlock-free
+//!   when two threads coordinate with each other simultaneously.
+//!
+//! A lost-wakeup race exists between "requester reads RUNNING" and "remote
+//! publishes BLOCKED": the request may be enqueued after the remote's final
+//! drain. The requester therefore re-checks the remote status on every spin
+//! iteration and falls back to implicit coordination if the remote has
+//! blocked; the stale queued request is answered harmlessly when the remote
+//! eventually wakes.
+
+use drink_runtime::{CoordRequest, ResponseToken, Runtime, ThreadId, ThreadStatus};
+
+use crate::support::CoordMode;
+
+/// Outcome of coordinating with one remote thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoordOutcome {
+    /// Explicit (roundtrip) or implicit (epoch CAS)?
+    pub mode: CoordMode,
+    /// The remote thread's release clock dominating its last access: the
+    /// responder's post-bump clock for explicit coordination, or the clock
+    /// read after the epoch CAS for implicit coordination (the remote bumped
+    /// it when it flushed before blocking).
+    pub source_clock: u64,
+}
+
+/// Coordinate with `remote` on behalf of `me`. `respond_self` is invoked on
+/// every spin iteration so the requester acts as a safe point while waiting.
+///
+/// Panics (via the runtime's spin watchdog) if the remote thread never
+/// responds — always a protocol bug.
+pub fn coordinate_one(
+    rt: &Runtime,
+    me: ThreadId,
+    remote: ThreadId,
+    obj: Option<drink_runtime::ObjId>,
+    respond_self: &mut impl FnMut(),
+) -> CoordOutcome {
+    debug_assert_ne!(me, remote, "a thread never coordinates with itself");
+    let ctl = rt.control(remote);
+    let mut pending: Option<std::sync::Arc<ResponseToken>> = None;
+    let mut spin = rt.spinner("coordination response");
+    loop {
+        if let Some(tok) = &pending {
+            if tok.is_done() {
+                return CoordOutcome {
+                    mode: CoordMode::Explicit,
+                    source_clock: tok.responder_clock(),
+                };
+            }
+        }
+        match ctl.status() {
+            ThreadStatus::Blocked { epoch } => {
+                if ctl.try_implicit(epoch) {
+                    // The remote flushed and bumped its clock before it
+                    // published BLOCKED, so this read dominates its last
+                    // access. (If we also enqueued an explicit request, the
+                    // remote answers the stale token on wake; nobody reads it.)
+                    return CoordOutcome {
+                        mode: CoordMode::Implicit,
+                        source_clock: ctl.release_clock(),
+                    };
+                }
+                // Status changed under us; retry the whole protocol.
+            }
+            ThreadStatus::Running { .. } => {
+                if pending.is_none() {
+                    let token = ResponseToken::new();
+                    ctl.enqueue_request(CoordRequest {
+                        from: me,
+                        obj,
+                        token: token.clone(),
+                    });
+                    pending = Some(token);
+                }
+            }
+        }
+        // Act as a safe point while waiting (deadlock freedom).
+        respond_self();
+        spin.spin();
+    }
+}
+
+/// Coordinate with every registered thread except `me` (the conservative
+/// protocol for RdSh conflicts: "T conservatively coordinates with every
+/// other thread", §2.2 footnote 4).
+///
+/// Appends `(thread, clock)` pairs to `sources` and returns the combined
+/// mode: `Explicit` if all roundtrips were explicit, `Implicit` if all were
+/// implicit, `Mixed` otherwise. With no other threads registered, returns
+/// `Implicit` vacuously.
+pub fn coordinate_all(
+    rt: &Runtime,
+    me: ThreadId,
+    obj: Option<drink_runtime::ObjId>,
+    respond_self: &mut impl FnMut(),
+    sources: &mut Vec<(ThreadId, u64)>,
+) -> CoordMode {
+    let n = rt.registered_threads();
+    let mut any_explicit = false;
+    let mut any_implicit = false;
+    for i in 0..n {
+        let remote = ThreadId(i as u16);
+        if remote == me {
+            continue;
+        }
+        let out = coordinate_one(rt, me, remote, obj, respond_self);
+        sources.push((remote, out.source_clock));
+        match out.mode {
+            CoordMode::Explicit => any_explicit = true,
+            CoordMode::Implicit => any_implicit = true,
+            CoordMode::Mixed => unreachable!("coordinate_one never returns Mixed"),
+        }
+    }
+    match (any_explicit, any_implicit) {
+        (true, false) => CoordMode::Explicit,
+        (false, _) => CoordMode::Implicit,
+        (true, true) => CoordMode::Mixed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_runtime::RuntimeConfig;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn implicit_against_blocked_thread() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let remote = rt.register_thread();
+        // Simulate the remote thread's pre-block sequence: bump clock, block.
+        rt.control(remote).bump_release_clock();
+        rt.control(remote).publish_blocked();
+
+        let mut responded = 0u32;
+        let out = coordinate_one(&rt, me, remote, None, &mut || responded += 1);
+        assert_eq!(out.mode, CoordMode::Implicit);
+        assert_eq!(out.source_clock, 1);
+        assert_eq!(responded, 0, "implicit coordination completes immediately");
+    }
+
+    #[test]
+    fn explicit_roundtrip_through_safe_point() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let remote = rt.register_thread();
+        let stop = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            // The "remote" mutator: polls its request queue like a safe point.
+            let rtr = &rt;
+            let stop_r = &stop;
+            s.spawn(move || {
+                let ctl = rtr.control(remote);
+                let mut spin = rtr.spinner("requests in test");
+                while !stop_r.load(Ordering::Relaxed) {
+                    for req in ctl.take_requests() {
+                        let clock = ctl.bump_release_clock();
+                        req.token.complete(clock);
+                        assert_eq!(req.from, me);
+                    }
+                    spin.spin();
+                }
+            });
+
+            let out = coordinate_one(&rt, me, remote, None, &mut || {});
+            assert_eq!(out.mode, CoordMode::Explicit);
+            assert_eq!(out.source_clock, 1);
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    #[test]
+    fn requester_falls_back_to_implicit_when_remote_blocks() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let remote = rt.register_thread();
+
+        std::thread::scope(|s| {
+            // Remote: never polls; blocks shortly after the requester starts.
+            let rtr = &rt;
+            s.spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                rtr.control(remote).bump_release_clock();
+                rtr.control(remote).publish_blocked();
+                // Answer stale requests like Monitor::acquire's publish path.
+                for req in rtr.control(remote).take_requests() {
+                    req.token.complete(rtr.control(remote).release_clock());
+                }
+            });
+
+            let out = coordinate_one(&rt, me, remote, None, &mut || {});
+            // Either path is legal depending on the race; both carry clock 1.
+            assert_eq!(out.source_clock, 1);
+        });
+    }
+
+    #[test]
+    fn mutual_coordination_does_not_deadlock() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let a = rt.register_thread();
+        let b = rt.register_thread();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+
+        // Each thread coordinates with the other while itself acting as a
+        // safe point, then — like a detaching mutator — publishes BLOCKED and
+        // answers raced requests so the peer can always finish.
+        let run = |me: ThreadId, other: ThreadId| {
+            let ctl = rt.control(me);
+            let out = coordinate_one(&rt, me, other, None, &mut || {
+                for req in ctl.take_requests() {
+                    req.token.complete(ctl.bump_release_clock());
+                }
+            });
+            ctl.publish_blocked();
+            for req in ctl.take_requests() {
+                req.token.complete(ctl.bump_release_clock());
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            out
+        };
+
+        std::thread::scope(|s| {
+            let h1 = s.spawn(|| run(a, b));
+            let h2 = s.spawn(|| run(b, a));
+            let o1 = h1.join().unwrap();
+            let o2 = h2.join().unwrap();
+            // Depending on the interleaving either roundtrip may have been
+            // answered explicitly or resolved implicitly post-block; the
+            // property under test is completion, not the mode.
+            assert!(matches!(o1.mode, CoordMode::Explicit | CoordMode::Implicit));
+            assert!(matches!(o2.mode, CoordMode::Explicit | CoordMode::Implicit));
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn coordinate_all_aggregates_modes() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let r1 = rt.register_thread();
+        let r2 = rt.register_thread();
+        // r1 blocked, r2 answered by a polling helper → Mixed.
+        rt.control(r1).publish_blocked();
+
+        let stop_flag = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let rtr = &rt;
+            let stop = &stop_flag;
+            s.spawn(move || {
+                let ctl = rtr.control(r2);
+                let mut spin = rtr.spinner("requests in test");
+                while !stop.load(Ordering::Relaxed) {
+                    for req in ctl.take_requests() {
+                        req.token.complete(ctl.bump_release_clock());
+                    }
+                    spin.spin();
+                }
+            });
+            let mut sources = Vec::new();
+            let mode = coordinate_all(&rt, me, None, &mut || {}, &mut sources);
+            stop.store(true, Ordering::Relaxed);
+            assert_eq!(mode, CoordMode::Mixed);
+            assert_eq!(sources.len(), 2);
+            assert!(sources.iter().any(|&(t, _)| t == r1));
+            assert!(sources.iter().any(|&(t, _)| t == r2));
+        });
+    }
+
+    #[test]
+    fn coordinate_all_with_no_peers_is_vacuous() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let mut sources = Vec::new();
+        let mode = coordinate_all(&rt, me, None, &mut || {}, &mut sources);
+        assert_eq!(mode, CoordMode::Implicit);
+        assert!(sources.is_empty());
+    }
+}

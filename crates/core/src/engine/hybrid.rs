@@ -1,0 +1,1359 @@
+//! Hybrid tracking (§3): the paper's contribution.
+//!
+//! Objects move between **optimistic** states (handled exactly like the
+//! Octet engine) and **pessimistic** states with *deferred unlocking*
+//! (§3.1):
+//!
+//! * an access to an unlocked pessimistic state CAS-locks it (reader–writer
+//!   locking) and records the object in the thread's lock buffer;
+//! * locks are released only at PSROs and responding safe points, which flush
+//!   the whole buffer (see [`EngineCommon::flush_lock_buffer`]);
+//! * repeated accesses to states this thread already holds are **reentrant**
+//!   — no atomic operation;
+//! * an access that conflicts with a *locked* state is **contended**: the
+//!   thread falls back to coordination, which makes the holder flush at its
+//!   next responding safe point, then retries. Contention implies an
+//!   object-level data race (§3.1, Figure 2(b));
+//! * the adaptive policy (§6) decides, at optimistic conflicts, whether an
+//!   object moves to pessimistic states, and at unlocks, whether it moves
+//!   back (Figure 3's two diamonds).
+//!
+//! The state-transition logic below follows Table 3 row by row; comments
+//! cite the rows. See `DESIGN.md` for the happens-before soundness argument
+//! behind each `Support` event.
+
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+
+use crate::common::EngineCommon;
+use crate::coord::{coordinate_all, coordinate_one};
+use crate::engine::Tracker;
+use crate::policy::{AdaptivePolicy, PolicyParams};
+use crate::support::{CoordMode, NullSupport, Support, SupportCx, TransitionEv};
+use crate::tstate::ThreadState;
+use crate::word::{Kind, LockMode, StateWord};
+
+/// What state a read by the owner of a `WrExPess` object produces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SelfReadMode {
+    /// The full model: `WrExRLock(T)` — sound, and a second reader upgrades
+    /// to `RdShRLock(2)` without contention (§3.2).
+    #[default]
+    WrExRLock,
+    /// The paper's prototype (§7.1 "Extraneous contention"): limited metadata
+    /// bits force `WrExWLock(T)`, so a second reader contends spuriously.
+    WrExWLock,
+    /// The paper's *unsound* alternate configuration (§7.1): `RdExRLock(T)`,
+    /// which avoids spurious contention but loses the owner's write — unfit
+    /// for sound dependence detection. For the E9 ablation only.
+    RdExRLockUnsound,
+}
+
+/// Configuration of the hybrid engine.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HybridConfig {
+    /// Adaptive-policy parameters.
+    pub policy: PolicyParams,
+    /// Self-read behaviour on `WrExPess` (see [`SelfReadMode`]).
+    pub self_read: SelfReadMode,
+    /// §3.1 ablation: the paper's *initial, pre-insight design* — unlock
+    /// pessimistic states eagerly after every access instead of deferring to
+    /// PSROs. Every pessimistic access then pays a conditional unlock, no
+    /// transition is ever reentrant, and the recorder's release-clock edges
+    /// are unavailable (tracking-only configurations may use this; runtime
+    /// support may not). The paper reports this design "added significant
+    /// overhead"; the `e10_deferred_unlock_ablation` harness quantifies it.
+    pub eager_unlock: bool,
+}
+
+impl HybridConfig {
+    /// The "w/ infinite cutoff" configuration of Figure 7.
+    pub fn infinite_cutoff() -> Self {
+        HybridConfig {
+            policy: PolicyParams::infinite_cutoff(),
+            ..HybridConfig::default()
+        }
+    }
+}
+
+/// The hybrid tracking engine.
+pub struct HybridEngine<S: Support = NullSupport> {
+    common: EngineCommon<S>,
+    cfg: HybridConfig,
+}
+
+impl HybridEngine<NullSupport> {
+    /// Hybrid tracking with the paper's default policy, no runtime support.
+    pub fn new(rt: Arc<Runtime>) -> Self {
+        HybridEngine::with_config(rt, NullSupport, HybridConfig::default())
+    }
+}
+
+impl<S: Support> HybridEngine<S> {
+    /// Hybrid tracking with explicit support and configuration.
+    pub fn with_config(rt: Arc<Runtime>, support: S, cfg: HybridConfig) -> Self {
+        assert!(
+            !(cfg.eager_unlock && S::PREPUBLISH),
+            "the §3.1 eager-unlock ablation is tracking-only: recorders rely              on deferred unlocking's release-clock edges"
+        );
+        HybridEngine {
+            common: EngineCommon::new(rt, support, AdaptivePolicy::new(cfg.policy)),
+            cfg,
+        }
+    }
+
+    /// Shared engine state (used by runtime-support crates).
+    pub fn common(&self) -> &EngineCommon<S> {
+        &self.common
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.cfg
+    }
+
+    // --- Shared conflict helpers (same as the optimistic engine) ---
+
+    fn conflict_coordinate(&self, ts: &mut ThreadState, o: ObjId, w: StateWord) -> CoordMode {
+        let rt = self.common.rt.clone();
+        let t = ts.tid;
+        let mut scratch = std::mem::take(&mut ts.src_scratch);
+        scratch.clear();
+        let mode = {
+            let mut respond = self.common.respond_closure(ts);
+            if w.kind() == Kind::RdSh {
+                coordinate_all(&rt, t, Some(o), &mut respond, &mut scratch)
+            } else {
+                let out = coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
+                scratch.push((w.owner(), out.source_clock));
+                out.mode
+            }
+        };
+        ts.src_scratch = scratch;
+        ts.stats.bump(Event::CoordinationRoundtrip);
+        mode
+    }
+
+    fn finish_opt_conflict(&self, ts: &mut ThreadState, o: ObjId, mode: CoordMode, write: bool) {
+        ts.stats.bump(match mode {
+            CoordMode::Explicit | CoordMode::Mixed => Event::OptConflictExplicit,
+            CoordMode::Implicit => Event::OptConflictImplicit,
+        });
+        let cx = SupportCx {
+            rt: &self.common.rt,
+            t: ts.tid,
+            op: ts.op_index,
+        };
+        self.common.support.on_transition(
+            cx,
+            o,
+            TransitionEv::Conflict {
+                mode,
+                sources: &ts.src_scratch,
+                write,
+            },
+        );
+    }
+
+    /// Fill `ts.src_scratch` with one remote thread's release clock.
+    fn read_source_one(&self, ts: &mut ThreadState, remote: ThreadId) {
+        ts.src_scratch.clear();
+        ts.src_scratch
+            .push((remote, self.common.rt.control(remote).release_clock()));
+    }
+
+    /// Fill `ts.src_scratch` with every other registered thread's clock
+    /// (conservative RdSh sources).
+    fn read_sources_all(&self, ts: &mut ThreadState) {
+        ts.src_scratch.clear();
+        let n = self.common.rt.registered_threads();
+        for i in 0..n {
+            let r = ThreadId(i as u16);
+            if r != ts.tid {
+                ts.src_scratch
+                    .push((r, self.common.rt.control(r).release_clock()));
+            }
+        }
+    }
+
+    fn emit_pess_acquire(&self, ts: &mut ThreadState, o: ObjId, write: bool) {
+        let cx = SupportCx {
+            rt: &self.common.rt,
+            t: ts.tid,
+            op: ts.op_index,
+        };
+        self.common.support.on_transition(
+            cx,
+            o,
+            TransitionEv::PessConflictingAcquire {
+                sources: &ts.src_scratch,
+                write,
+            },
+        );
+    }
+
+    /// Contended transition (Figure 2(b)): coordinate with the holder(s) so
+    /// they flush their lock buffers, then the caller retries.
+    fn contended_coordinate(&self, ts: &mut ThreadState, o: ObjId, w: StateWord) {
+        let rt = self.common.rt.clone();
+        let t = ts.tid;
+        let mut respond = self.common.respond_closure(ts);
+        if w.kind() == Kind::RdSh {
+            // Read-locked by unknown threads: conservatively coordinate with
+            // everyone (the state word does not name RdSh holders).
+            let mut sink = Vec::new();
+            coordinate_all(&rt, t, Some(o), &mut respond, &mut sink);
+        } else {
+            coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
+        }
+        drop(respond);
+        ts.stats.bump(Event::CoordinationRoundtrip);
+    }
+
+    fn bump_pess(&self, ts: &mut ThreadState, o: ObjId, conflicting: bool, contended: bool) {
+        ts.stats.bump(Event::PessUncontended);
+        if conflicting {
+            ts.stats.bump(Event::PessOwnerChange);
+        }
+        self.common
+            .policy
+            .on_pess_transition(self.common.rt.obj(o).profile(), conflicting, contended);
+        if self.cfg.eager_unlock {
+            self.eager_unlock_now(ts, o);
+        }
+    }
+
+    /// §3.1 ablation only: conditionally unlock the state this access just
+    /// locked (the pre-deferred-unlocking design's per-access instrumentation
+    /// tail). The object was pushed to the lock buffer by the caller; pop it
+    /// and release the hold immediately.
+    #[cold]
+    fn eager_unlock_now(&self, ts: &mut ThreadState, o: ObjId) {
+        // The acquisition paths push at most one buffer entry per access;
+        // with eager unlocking the buffer never holds more than that.
+        if let Some(pos) = ts.lock_buffer.iter().rposition(|&x| x == o) {
+            ts.lock_buffer.swap_remove(pos);
+        } else {
+            // Reentrant-free invariant: an in-place upgrade (RLock→WLock)
+            // re-locks an object whose entry was already consumed; nothing
+            // to pop, but the state still needs releasing below.
+        }
+        ts.rd_set.remove(&o.0);
+        let state = self.common.rt.obj(o).state();
+        let mut cur = state.load(Ordering::Acquire);
+        loop {
+            let w = StateWord(cur);
+            if !w.is_pess_locked() {
+                return; // raced with a concurrent share-count change
+            }
+            let new = w.unlock_one();
+            match state.compare_exchange_weak(cur, new.0, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => {
+                    ts.stats.bump(Event::StateUnlocked);
+                    return;
+                }
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn bump_reentrant(&self, ts: &mut ThreadState, o: ObjId) {
+        ts.stats.bump(Event::PessReentrant);
+        self.common
+            .policy
+            .on_pess_transition(self.common.rt.obj(o).profile(), false, false);
+    }
+
+    // --- Write slow path (Figure 10(b), extended to the full Table 3) ---
+
+    /// Returns false iff the write was aborted (`abortable` and the support
+    /// requested it after a mid-transition yield); nothing is claimed then.
+    #[cold]
+    fn write_slow(&self, ts: &mut ThreadState, o: ObjId, abortable: bool) -> bool {
+        let t = ts.tid;
+        let rt = &self.common.rt;
+        let obj = rt.obj(o);
+        let state = obj.state();
+        let mut contended = false;
+        let mut spin = rt.spinner("hybrid write slow path");
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            let w = StateWord(cur);
+            if w == StateWord::wr_ex_opt(t) {
+                ts.stats.bump(Event::OptSameState);
+                return true;
+            }
+            if w.is_int() {
+                self.common.respond_pending(ts);
+                if abortable && self.common.support.should_abort(t) {
+                    return false;
+                }
+                spin.spin();
+                continue;
+            }
+
+            if !w.is_pess() {
+                // --- Optimistic states ---
+                if w == StateWord::rd_ex_opt(t) {
+                    // Upgrading: RdExOpt(T) → WrExOpt(T).
+                    if state
+                        .compare_exchange(
+                            cur,
+                            StateWord::wr_ex_opt(t).0,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        ts.stats.bump(Event::OptUpgrading);
+                        let cx = self.common.cx(ts);
+                        self.common.support.on_transition(cx, o, TransitionEv::UpgradeOwn);
+                        return true;
+                    }
+                    continue;
+                }
+                // Conflicting optimistic transition (Figure 10(b) line 43).
+                if state
+                    .compare_exchange(cur, StateWord::int(t).0, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue;
+                }
+                let mode = self.conflict_coordinate(ts, o, w);
+                if abortable && self.common.support.should_abort(t) {
+                    // Yielded mid-coordination: restore and abort.
+                    state.store(cur, Ordering::Release);
+                    return false;
+                }
+                // Adaptive-policy decision (line 46). Only explicit
+                // coordination counts (§6.2 footnote 7).
+                let to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
+                    && self.common.policy.on_explicit_conflict(obj.profile());
+                // Support first, then publish (recorder entries must be
+                // visible before the new state is).
+                self.finish_opt_conflict(ts, o, mode, true);
+                if to_pess {
+                    state.store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::Release);
+                    ts.lock_buffer.push(o);
+                    ts.stats.bump(Event::OptToPess);
+                    if self.cfg.eager_unlock {
+                        self.eager_unlock_now(ts, o);
+                    }
+                } else {
+                    state.store(StateWord::wr_ex_opt(t).0, Ordering::Release);
+                }
+                return true;
+            }
+
+            // --- Pessimistic states ---
+            if w.lock_mode() == LockMode::Unlocked {
+                // Uncontended acquisition from an unlocked state:
+                //   WrExPess(T)/RdExPess(T)   W by T  → WrExWLock(T)   (non-confl)
+                //   WrExPess(T1)/RdExPess(T1) W by T2 → WrExWLock(T2)  (confl, clock edge)
+                //   RdShPess(c)               W by T  → WrExWLock(T)   (confl, clock edges)
+                let own = w.kind() != Kind::RdSh && w.owner() == t;
+                let prev_owner = w.owner();
+                let was_rdsh = w.kind() == Kind::RdSh;
+                let final_w = StateWord::wr_ex_pess(t, LockMode::Write);
+                if self.common.claim(state, cur, t, final_w) {
+                    let conflicting = !own;
+                    if conflicting {
+                        if was_rdsh {
+                            self.read_sources_all(ts);
+                        } else {
+                            self.read_source_one(ts, prev_owner);
+                        }
+                        self.emit_pess_acquire(ts, o, true);
+                    }
+                    self.common.publish(state, final_w);
+                    ts.lock_buffer.push(o);
+                    self.bump_pess(ts, o, conflicting, contended);
+                    return true;
+                }
+                continue;
+            }
+
+            // Locked pessimistic states.
+            if w == StateWord::wr_ex_pess(t, LockMode::Write) {
+                // Reentrant: WrExWLock(T) W by T → same, no atomic op.
+                self.bump_reentrant(ts, o);
+                return true;
+            }
+            if w == StateWord::wr_ex_pess(t, LockMode::Read)
+                || w == StateWord::rd_ex_pess(t, LockMode::Read)
+            {
+                // My own read lock upgrades in place:
+                //   WrExRLock(T)/RdExRLock(T) W by T → WrExWLock(T).
+                if state
+                    .compare_exchange(
+                        cur,
+                        StateWord::wr_ex_pess(t, LockMode::Write).0,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // Already in the lock buffer from the read-lock.
+                    ts.rd_set.remove(&o.0);
+                    ts.stats.bump(Event::PessUncontended);
+                    self.common
+                        .policy
+                        .on_pess_transition(obj.profile(), false, contended);
+                    if self.cfg.eager_unlock {
+                        self.eager_unlock_now(ts, o);
+                    }
+                    return true;
+                }
+                continue;
+            }
+            if w.kind() == Kind::RdSh && w.read_locks() == 1 && ts.rd_set.contains(&o.0) {
+                // I am the sole read-locker: upgrade in place (keeps
+                // two-phase locking intact for the RS enforcer; no other
+                // thread can be mid-access since pessimistic readers must
+                // lock).
+                let final_w = StateWord::wr_ex_pess(t, LockMode::Write);
+                if self.common.claim(state, cur, t, final_w) {
+                    ts.rd_set.remove(&o.0);
+                    // Write after other threads' past reads: conservative
+                    // clock edges to everyone.
+                    self.read_sources_all(ts);
+                    self.emit_pess_acquire(ts, o, true);
+                    self.common.publish(state, final_w);
+                    self.bump_pess(ts, o, true, contended);
+                    return true;
+                }
+                continue;
+            }
+
+            // Contended transition: conflicting with someone else's lock.
+            if !contended {
+                contended = true;
+                ts.stats.bump(Event::PessContended);
+            }
+            self.contended_coordinate(ts, o, w);
+            if abortable && self.common.support.should_abort(t) {
+                return false;
+            }
+            // Retry: the holder(s) flush at their responding safe points.
+            // Back off through the watchdog spinner so a contended livelock
+            // is bounded and diagnosable.
+            spin.spin();
+        }
+    }
+
+    fn write_impl(&self, t: ThreadId, o: ObjId, v: u64, abortable: bool) -> Option<u64> {
+        // SAFETY: attached thread (Tracker contract).
+        let ts = unsafe { self.common.ts(t) };
+        let obj = self.common.rt.obj(o);
+        // Fast path (Figure 10(a)): only WrExOpt(T).
+        if obj.state().load(Ordering::Acquire) == StateWord::wr_ex_opt(t).0 {
+            ts.stats.bump(Event::OptSameState);
+        } else if !self.write_slow(ts, o, abortable) {
+            return None;
+        }
+        ts.stats.bump(Event::Write);
+        let prev = obj.data_read();
+        obj.data_write(v);
+        ts.op_index += 1;
+        Some(prev)
+    }
+
+    // --- Read slow path ---
+
+    #[cold]
+    fn read_slow(&self, ts: &mut ThreadState, o: ObjId) {
+        let t = ts.tid;
+        let rt = &self.common.rt;
+        let obj = rt.obj(o);
+        let state = obj.state();
+        let mut contended = false;
+        let mut spin = rt.spinner("hybrid read slow path");
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            let w = StateWord(cur);
+            if w == StateWord::wr_ex_opt(t) || w == StateWord::rd_ex_opt(t) {
+                ts.stats.bump(Event::OptSameState);
+                return;
+            }
+            if w.is_int() {
+                self.common.respond_pending(ts);
+                spin.spin();
+                continue;
+            }
+
+            if !w.is_pess() {
+                // --- Optimistic states ---
+                match w.kind() {
+                    Kind::RdSh => {
+                        let c = w.rdsh_count();
+                        if ts.rd_sh_count >= c {
+                            ts.stats.bump(Event::OptSameState);
+                        } else {
+                            fence(Ordering::Acquire);
+                            ts.rd_sh_count = c;
+                            ts.stats.bump(Event::OptFence);
+                            let cx = self.common.cx(ts);
+                            self.common
+                                .support
+                                .on_transition(cx, o, TransitionEv::Fence { c });
+                        }
+                        return;
+                    }
+                    Kind::RdEx => {
+                        // Upgrading: RdExOpt(T1) → RdShOpt(c).
+                        let prev_owner = w.owner();
+                        let pre = self.common.pre_epoch();
+                        if self.common.claim(state, cur, t, StateWord::rd_sh_opt(pre)) {
+                            let c = self.common.post_epoch(pre);
+                            ts.rd_sh_count = ts.rd_sh_count.max(c);
+                            ts.stats.bump(Event::OptUpgrading);
+                            let cx = self.common.cx(ts);
+                            self.common.support.on_transition(
+                                cx,
+                                o,
+                                TransitionEv::RdShCreate {
+                                    prev_owner,
+                                    c,
+                                    pess: false,
+                                },
+                            );
+                            self.common.publish(state, StateWord::rd_sh_opt(c));
+                            return;
+                        }
+                        continue;
+                    }
+                    Kind::WrEx => {
+                        // Conflicting optimistic read: WrExOpt(T1) → RdEx*(T2).
+                        if state
+                            .compare_exchange(
+                                cur,
+                                StateWord::int(t).0,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_err()
+                        {
+                            continue;
+                        }
+                        let mode = self.conflict_coordinate(ts, o, w);
+                        let to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
+                            && self.common.policy.on_explicit_conflict(obj.profile());
+                        self.finish_opt_conflict(ts, o, mode, false);
+                        if to_pess {
+                            state.store(
+                                StateWord::rd_ex_pess(t, LockMode::Read).0,
+                                Ordering::Release,
+                            );
+                            ts.lock_buffer.push(o);
+                            ts.rd_set.insert(o.0);
+                            ts.stats.bump(Event::OptToPess);
+                            if self.cfg.eager_unlock {
+                                self.eager_unlock_now(ts, o);
+                            }
+                        } else {
+                            state.store(StateWord::rd_ex_opt(t).0, Ordering::Release);
+                        }
+                        return;
+                    }
+                    Kind::Int => unreachable!("handled above"),
+                }
+            }
+
+            // --- Pessimistic states ---
+            if w.lock_mode() == LockMode::Unlocked {
+                if self.read_acquire_unlocked(ts, o, cur, w, contended) {
+                    return;
+                }
+                continue;
+            }
+
+            // Locked pessimistic states: reentrant cases first.
+            if w == StateWord::wr_ex_pess(t, LockMode::Write)
+                || w == StateWord::wr_ex_pess(t, LockMode::Read)
+                || w == StateWord::rd_ex_pess(t, LockMode::Read)
+            {
+                self.bump_reentrant(ts, o);
+                return;
+            }
+            if w.kind() == Kind::RdSh && ts.rd_set.contains(&o.0) {
+                // RdShRLock(n) R by T with o ∈ T.rdSet → same (reentrant).
+                self.bump_reentrant(ts, o);
+                return;
+            }
+
+            match w.kind() {
+                Kind::RdSh => {
+                    // Join the read-shared lock: RdShRLock(n) → RdShRLock(n+1).
+                    let c = w.rdsh_count();
+                    let n = w.read_locks();
+                    assert!(
+                        (n as usize) < crate::word::MAX_READ_LOCKS as usize,
+                        "read-lock count overflow"
+                    );
+                    if state
+                        .compare_exchange(
+                            cur,
+                            StateWord::rd_sh_pess(c, n + 1).0,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        ts.lock_buffer.push(o);
+                        ts.rd_set.insert(o.0);
+                        self.note_rdsh_read(ts, o, c);
+                        self.bump_pess(ts, o, false, contended);
+                        return;
+                    }
+                    continue;
+                }
+                Kind::RdEx | Kind::WrEx if w.lock_mode() == LockMode::Read => {
+                    // RdExRLock(T1)/WrExRLock(T1) R by T2 → RdShRLock(2)(c_new):
+                    // the second concurrent reader avoids contention (§3.2).
+                    let prev_owner = w.owner();
+                    debug_assert_ne!(prev_owner, t, "own RLock handled above");
+                    let pre = self.common.pre_epoch();
+                    if self.common.claim(state, cur, t, StateWord::rd_sh_pess(pre, 2)) {
+                        let c = self.common.post_epoch(pre);
+                        let final_w = StateWord::rd_sh_pess(c, 2);
+                        ts.rd_sh_count = ts.rd_sh_count.max(c);
+                        let cx = self.common.cx(ts);
+                        self.common.support.on_transition(
+                            cx,
+                            o,
+                            TransitionEv::RdShCreate {
+                                prev_owner,
+                                c,
+                                pess: true,
+                            },
+                        );
+                        self.common.publish(state, final_w);
+                        ts.lock_buffer.push(o);
+                        ts.rd_set.insert(o.0);
+                        // A read of WrExRLock conflicts with T1's write under
+                        // the cost model; of RdExRLock it does not.
+                        let conflicting = w.kind() == Kind::WrEx;
+                        self.bump_pess(ts, o, conflicting, contended);
+                        return;
+                    }
+                    continue;
+                }
+                _ => {
+                    // WrExWLock(T1) R by T2: contended.
+                    if !contended {
+                        contended = true;
+                        ts.stats.bump(Event::PessContended);
+                    }
+                    self.contended_coordinate(ts, o, w);
+                    spin.spin();
+                }
+            }
+        }
+    }
+
+    /// Read acquisition from an unlocked pessimistic state. Returns true on
+    /// success (caller returns), false to retry.
+    fn read_acquire_unlocked(
+        &self,
+        ts: &mut ThreadState,
+        o: ObjId,
+        cur: u64,
+        w: StateWord,
+        contended: bool,
+    ) -> bool {
+        let t = ts.tid;
+        let rt = &self.common.rt;
+        let obj = rt.obj(o);
+        let state = obj.state();
+        match (w.kind(), w.owner() == t) {
+            (Kind::WrEx, true) => {
+                // WrExPess(T) R by T: full model → WrExRLock(T); prototype →
+                // WrExWLock(T) (§7.1); ablation → RdExRLock(T) (unsound).
+                let target = match self.cfg.self_read {
+                    SelfReadMode::WrExRLock => StateWord::wr_ex_pess(t, LockMode::Read),
+                    SelfReadMode::WrExWLock => StateWord::wr_ex_pess(t, LockMode::Write),
+                    SelfReadMode::RdExRLockUnsound => StateWord::rd_ex_pess(t, LockMode::Read),
+                };
+                if self.common.claim(state, cur, t, target) {
+                    let cx = self.common.cx(ts);
+                    self.common
+                        .support
+                        .on_transition(cx, o, TransitionEv::PessLocalAcquire);
+                    self.common.publish(state, target);
+                    ts.lock_buffer.push(o);
+                    if target.lock_mode() == LockMode::Read {
+                        ts.rd_set.insert(o.0);
+                    }
+                    self.bump_pess(ts, o, false, contended);
+                    return true;
+                }
+                false
+            }
+            (Kind::WrEx, false) => {
+                // WrExPess(T1) R by T2 → RdExRLock(T2): conflicting (w→r),
+                // happens-before edge from T1's release clock (§4.2).
+                let prev_owner = w.owner();
+                let final_w = StateWord::rd_ex_pess(t, LockMode::Read);
+                if self.common.claim(state, cur, t, final_w) {
+                    self.read_source_one(ts, prev_owner);
+                    self.emit_pess_acquire(ts, o, false);
+                    self.common.publish(state, final_w);
+                    ts.lock_buffer.push(o);
+                    ts.rd_set.insert(o.0);
+                    self.bump_pess(ts, o, true, contended);
+                    return true;
+                }
+                false
+            }
+            (Kind::RdEx, true) => {
+                // RdExPess(T) R by T → RdExRLock(T).
+                let final_w = StateWord::rd_ex_pess(t, LockMode::Read);
+                if self.common.claim(state, cur, t, final_w) {
+                    let cx = self.common.cx(ts);
+                    self.common
+                        .support
+                        .on_transition(cx, o, TransitionEv::PessLocalAcquire);
+                    self.common.publish(state, final_w);
+                    ts.lock_buffer.push(o);
+                    ts.rd_set.insert(o.0);
+                    self.bump_pess(ts, o, false, contended);
+                    return true;
+                }
+                false
+            }
+            (Kind::RdEx, false) => {
+                // RdExPess(T1) R by T2 → RdShRLock(1)(c_new).
+                let prev_owner = w.owner();
+                let pre = self.common.pre_epoch();
+                if self.common.claim(state, cur, t, StateWord::rd_sh_pess(pre, 1)) {
+                    let c = self.common.post_epoch(pre);
+                    let final_w = StateWord::rd_sh_pess(c, 1);
+                    ts.rd_sh_count = ts.rd_sh_count.max(c);
+                    let cx = self.common.cx(ts);
+                    self.common.support.on_transition(
+                        cx,
+                        o,
+                        TransitionEv::RdShCreate {
+                            prev_owner,
+                            c,
+                            pess: true,
+                        },
+                    );
+                    self.common.publish(state, final_w);
+                    ts.lock_buffer.push(o);
+                    ts.rd_set.insert(o.0);
+                    self.bump_pess(ts, o, false, contended);
+                    return true;
+                }
+                false
+            }
+            (Kind::RdSh, _) => {
+                // RdShPess(c) R by T → RdShRLock(1)(c), same epoch.
+                let c = w.rdsh_count();
+                if state
+                    .compare_exchange(
+                        cur,
+                        StateWord::rd_sh_pess(c, 1).0,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    ts.lock_buffer.push(o);
+                    ts.rd_set.insert(o.0);
+                    self.note_rdsh_read(ts, o, c);
+                    self.bump_pess(ts, o, false, contended);
+                    return true;
+                }
+                false
+            }
+            (Kind::Int, _) => unreachable!("Int is never pessimistic"),
+        }
+    }
+
+    /// A pessimistic read joined RdSh epoch `c`: update `rdShCount` and emit
+    /// the fence-equivalent event if this thread had not yet synchronized
+    /// with the epoch (Table 3 footnote *).
+    fn note_rdsh_read(&self, ts: &mut ThreadState, o: ObjId, c: u64) {
+        if ts.rd_sh_count < c {
+            fence(Ordering::Acquire);
+            ts.rd_sh_count = c;
+            let cx = self.common.cx(ts);
+            self.common
+                .support
+                .on_transition(cx, o, TransitionEv::Fence { c });
+        }
+    }
+}
+
+impl<S: Support> Tracker for HybridEngine<S> {
+    fn rt(&self) -> &Arc<Runtime> {
+        &self.common.rt
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn attach(&self) -> ThreadId {
+        self.common.attach()
+    }
+
+    fn detach(&self, t: ThreadId) {
+        // SAFETY: called from the attached thread (Tracker contract).
+        unsafe { self.common.detach(t) }
+    }
+
+    #[inline(always)]
+    fn read(&self, t: ThreadId, o: ObjId) -> u64 {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        ts.stats.bump(Event::Read);
+        let obj = self.common.rt.obj(o);
+        let cur = obj.state().load(Ordering::Acquire);
+        let w = StateWord(cur);
+        // Fast path: exclusive owner, or read-shared with a fresh rdShCount
+        // (Table 1's Same∗ row) — loads and compares, no synchronization.
+        if cur == StateWord::wr_ex_opt(t).0
+            || cur == StateWord::rd_ex_opt(t).0
+            || (w.kind() == Kind::RdSh && !w.is_pess() && ts.rd_sh_count >= w.rdsh_count())
+        {
+            ts.stats.bump(Event::OptSameState);
+        } else {
+            self.read_slow(ts, o);
+        }
+        let v = obj.data_read();
+        ts.op_index += 1;
+        v
+    }
+
+    #[inline(always)]
+    fn write(&self, t: ThreadId, o: ObjId, v: u64) {
+        self.write_impl(t, o, v, false);
+    }
+
+    fn try_write(&self, t: ThreadId, o: ObjId, v: u64) -> Option<u64> {
+        self.write_impl(t, o, v, true)
+    }
+
+    fn alloc_init(&self, o: ObjId, owner: ThreadId) {
+        // "Each object newly allocated by thread T starts in the WrExOpt(T)
+        // state" (§6.2).
+        self.common
+            .rt
+            .obj(o)
+            .state()
+            .store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn safepoint(&self, t: ThreadId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.poll(ts);
+    }
+
+    fn lock(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_acquire(ts, m);
+    }
+
+    fn unlock(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_release(ts, m);
+    }
+
+    fn wait(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_wait(ts, m);
+    }
+
+    fn notify_all(&self, m: MonitorId) {
+        self.common.rt.monitor_notify_all(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_runtime::RuntimeConfig;
+
+    fn engine_with(policy: PolicyParams) -> HybridEngine {
+        HybridEngine::with_config(
+            Arc::new(Runtime::new(RuntimeConfig::sized(8, 32, 4))),
+            NullSupport,
+            HybridConfig {
+                policy,
+                ..HybridConfig::default()
+            },
+        )
+    }
+
+    fn engine() -> HybridEngine {
+        engine_with(PolicyParams::default())
+    }
+
+    /// Policy that moves an object to pessimistic on its first explicit
+    /// conflict and essentially never moves it back.
+    fn eager_pess() -> PolicyParams {
+        PolicyParams {
+            cutoff_confl: 1,
+            k_confl: 1_000_000,
+            inertia: 1_000_000,
+            contended_cutoff: u32::MAX,
+        }
+    }
+
+    fn state_of(e: &HybridEngine, o: ObjId) -> StateWord {
+        StateWord(e.rt().obj(o).state().load(Ordering::SeqCst))
+    }
+
+    /// Run `victim_ops` on a second thread while the caller's thread `t`
+    /// keeps polling safe points (responding to coordination) until it
+    /// finishes.
+    fn with_responsive_main<R: Send>(
+        e: &HybridEngine,
+        t: ThreadId,
+        victim_ops: impl FnOnce(ThreadId) -> R + Send,
+    ) -> R {
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                let t1 = e.attach();
+                let r = victim_ops(t1);
+                e.detach(t1);
+                r
+            });
+            let mut spin = e.rt().spinner("scenario thread to finish");
+            while !h.is_finished() {
+                e.safepoint(t);
+                spin.spin();
+            }
+            h.join().unwrap()
+        })
+    }
+
+    #[test]
+    fn objects_start_optimistic_and_stay_for_low_conflict() {
+        let e = engine();
+        let t = e.attach();
+        let o = ObjId(0);
+        e.alloc_init(o, t);
+        for i in 0..1_000 {
+            e.write(t, o, i);
+            let _ = e.read(t, o);
+        }
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_opt(t));
+        e.detach(t);
+        let r = e.rt().stats().report();
+        assert_eq!(r.get(Event::OptSameState), 2_000);
+        assert_eq!(r.opt_to_pess(), 0);
+        assert_eq!(r.pess_uncontended(), 0);
+    }
+
+    #[test]
+    fn explicit_conflicts_move_object_to_pessimistic() {
+        let e = engine_with(eager_pess());
+        let t0 = e.attach();
+        let o = ObjId(1);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 1);
+
+        with_responsive_main(&e, t0, |t1| {
+            e.write(t1, o, 2); // explicit conflict → policy → pessimistic
+            // t1 now holds WrExWLock(t1); its detach flushes to unlocked.
+            assert_eq!(
+                StateWord(e.rt().obj(o).state().load(Ordering::SeqCst)),
+                StateWord::wr_ex_pess(t1, LockMode::Write)
+            );
+            t1
+        });
+        let w = state_of(&e, o);
+        assert!(w.is_pess_unlocked(), "detach flush unlocked it: {w:?}");
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert_eq!(r.opt_to_pess(), 1);
+        assert_eq!(r.get(Event::OptConflictExplicit), 1);
+    }
+
+    #[test]
+    fn implicit_conflicts_do_not_trigger_policy() {
+        // Footnote 7: only explicit coordination counts toward Cutoff_confl.
+        let e = engine_with(eager_pess());
+        let o = ObjId(2);
+        std::thread::scope(|s| {
+            let er = &e;
+            s.spawn(move || {
+                let t0 = er.attach();
+                er.alloc_init(o, t0);
+                er.write(t0, o, 1);
+                er.detach(t0); // blocked forever → implicit coordination
+            })
+            .join()
+            .unwrap();
+            s.spawn(move || {
+                let t1 = er.attach();
+                er.write(t1, o, 2);
+                er.detach(t1);
+            });
+        });
+        let r = e.rt().stats().report();
+        assert_eq!(r.get(Event::OptConflictImplicit), 1);
+        assert_eq!(r.opt_to_pess(), 0, "implicit conflicts keep objects optimistic");
+    }
+
+    #[test]
+    fn deferred_unlocking_until_psro() {
+        // Figure 2(a): well-synchronized accesses encounter no contention
+        // because the PSRO flush releases the pessimistic lock.
+        let e = engine_with(eager_pess());
+        let t0 = e.attach();
+        let o = ObjId(3);
+        let m = MonitorId(0);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 1);
+
+        with_responsive_main(&e, t0, |t1| {
+            e.lock(t1, m);
+            e.write(t1, o, 2); // goes pessimistic here (explicit conflict)
+            let w = StateWord(e.rt().obj(o).state().load(Ordering::SeqCst));
+            assert_eq!(w, StateWord::wr_ex_pess(t1, LockMode::Write));
+            e.write(t1, o, 3); // reentrant: still write-locked
+            e.unlock(t1, m); // PSRO → flush
+            let w = StateWord(e.rt().obj(o).state().load(Ordering::SeqCst));
+            assert!(w.is_pess_unlocked(), "PSRO flush unlocks: {w:?}");
+        });
+
+        // t0 now locks it without contention (Figure 2(a)'s T2).
+        e.lock(t0, m);
+        let _ = e.read(t0, o);
+        e.unlock(t0, m);
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert_eq!(r.pess_contended(), 0, "well-synchronized ⇒ no contention");
+        assert_eq!(r.get(Event::PessReentrant), 1);
+        assert!(r.pess_uncontended() >= 2);
+    }
+
+    #[test]
+    fn object_level_race_triggers_contended_transition() {
+        // Figure 2(b): an access racing with a locked state falls back to
+        // coordination.
+        let e = engine_with(eager_pess());
+        let t0 = e.attach();
+        let o = ObjId(4);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 1);
+
+        with_responsive_main(&e, t0, |t1| {
+            e.write(t1, o, 2); // → WrExWLock(t1), held until t1's next PSRO
+        });
+        // t1 detached (flushed), so this does NOT contend. Get the lock held
+        // again, by t0 this time, then race from another thread.
+        e.write(t0, o, 3); // pess unlocked → WrExWLock(t0)
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_pess(t0, LockMode::Write));
+
+        with_responsive_main(&e, t0, |t2| {
+            // t0 holds the write lock and is polling safe points: t2's read
+            // contends, coordinates, t0's responding safe point flushes, and
+            // t2 retries uncontended.
+            assert_eq!(e.read(t2, o), 3);
+        });
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert_eq!(r.pess_contended(), 1);
+        assert!(r.get(Event::RespondedExplicit) >= 1);
+    }
+
+    #[test]
+    fn second_reader_joins_via_wrex_rlock_without_contention() {
+        // §3.2: "The read-locked write-exclusive state enables a second
+        // concurrent reader to upgrade to RdShRLock(2), instead of
+        // encountering contention."
+        let e = engine_with(eager_pess());
+        let t0 = e.attach();
+        let o = ObjId(5);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 9);
+
+        with_responsive_main(&e, t0, |t1| {
+            e.write(t1, o, 10); // → pessimistic
+        });
+        // t0 reads its... t1's object: WrExPess(t1) unlocked → RdExRLock(t0).
+        assert_eq!(e.read(t0, o), 10);
+        assert_eq!(state_of(&e, o), StateWord::rd_ex_pess(t0, LockMode::Read));
+        // Re-read is reentrant.
+        assert_eq!(e.read(t0, o), 10);
+
+        // A second reader joins: RdExRLock(t0) → RdShRLock(2)(c).
+        with_responsive_main(&e, t0, |t2| {
+            assert_eq!(e.read(t2, o), 10);
+            let w = StateWord(e.rt().obj(o).state().load(Ordering::SeqCst));
+            assert_eq!(w.kind(), Kind::RdSh);
+            assert_eq!(w.read_locks(), 2);
+        });
+        // t2 detached → flushed one share.
+        let w = state_of(&e, o);
+        assert_eq!(w.read_locks(), 1);
+        e.detach(t0);
+        let w = state_of(&e, o);
+        assert!(w.is_pess_unlocked());
+        assert_eq!(e.rt().stats().get(Event::PessContended), 0);
+        assert_eq!(e.rt().stats().get(Event::PessReentrant), 1);
+    }
+
+    #[test]
+    fn prototype_wrexwlock_mode_contends_spuriously() {
+        // §7.1 "Extraneous contention": with the prototype's self-read mode,
+        // a read of WrExPess(T1) by T1 write-locks, so a second reader
+        // contends even without an object-level data race.
+        let e = HybridEngine::with_config(
+            Arc::new(Runtime::new(RuntimeConfig::sized(8, 32, 4))),
+            NullSupport,
+            HybridConfig {
+                policy: eager_pess(),
+                self_read: SelfReadMode::WrExWLock,
+                ..HybridConfig::default()
+            },
+        );
+        let t0 = e.attach();
+        let o = ObjId(6);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 1);
+        with_responsive_main(&e, t0, |t1| {
+            e.write(t1, o, 2); // pessimistic now
+        });
+        // Take write ownership, flush at a PSRO, then self-read: under the
+        // prototype encoding the self-read write-locks.
+        e.write(t0, o, 3);
+        e.lock(t0, MonitorId(3));
+        e.unlock(t0, MonitorId(3)); // PSRO flush → WrExPess(t0) unlocked
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_pess(t0, LockMode::Unlocked));
+        let _ = e.read(t0, o);
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_pess(t0, LockMode::Write));
+
+        with_responsive_main(&e, t0, |t2| {
+            let _ = e.read(t2, o); // contends with t0's WLock
+        });
+        e.detach(t0);
+        assert!(e.rt().stats().get(Event::PessContended) >= 1);
+    }
+
+    #[test]
+    fn policy_returns_object_to_optimistic() {
+        // K_confl=1, Inertia=2: two non-conflicting pessimistic transitions
+        // flip the object back at its next unlock.
+        let e = engine_with(PolicyParams {
+            cutoff_confl: 1,
+            k_confl: 1,
+            inertia: 2,
+            contended_cutoff: u32::MAX,
+        });
+        let t0 = e.attach();
+        let o = ObjId(7);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 1);
+        with_responsive_main(&e, t0, |t1| {
+            e.write(t1, o, 2); // → pessimistic (conflict #1)
+        });
+        // Pessimistic non-conflicting transitions by t0... first acquire is
+        // conflicting (prev owner t1), later ones are its own.
+        for i in 0..8 {
+            e.write(t0, o, i); // first: confl acquire; rest: reentrant
+        }
+        // Flush at a PSRO; policy should have flipped the object by now.
+        e.lock(t0, MonitorId(1));
+        e.unlock(t0, MonitorId(1));
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_opt(t0));
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert_eq!(r.pess_to_opt(), 1);
+        // One-way valve: subsequent accesses stay optimistic.
+        assert_eq!(r.opt_to_pess(), 1);
+    }
+
+    #[test]
+    fn self_rdsh_upgrade_in_place_when_sole_locker() {
+        let e = engine_with(eager_pess());
+        let t0 = e.attach();
+        let o = ObjId(8);
+        // Construct RdShPess directly (unlocked, epoch 1).
+        e.rt()
+            .obj(o)
+            .state()
+            .store(StateWord::rd_sh_pess(1, 0).0, Ordering::SeqCst);
+        // Read: joins as sole locker.
+        let _ = e.read(t0, o);
+        assert_eq!(state_of(&e, o).read_locks(), 1);
+        // Write: in-place upgrade, no coordination (no other lockers).
+        e.write(t0, o, 5);
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_pess(t0, LockMode::Write));
+        e.detach(t0);
+        assert_eq!(e.rt().stats().get(Event::PessContended), 0);
+    }
+
+    #[test]
+    fn sync_inc_pattern_avoids_repeated_coordination() {
+        // The syncInc microbenchmark shape (Figure 8(a)): well-synchronized
+        // counter increments. Under hybrid tracking the counter object goes
+        // pessimistic after Cutoff_confl conflicts and thereafter transfers
+        // by CAS, not by roundtrip coordination.
+        const ITERS: u64 = 2_000;
+        let e = engine(); // paper defaults: cutoff 4
+        let counter = ObjId(9);
+        let m = MonitorId(2);
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let er = &e;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let t = er.attach();
+                    barrier.wait();
+                    for _ in 0..ITERS {
+                        er.lock(t, m);
+                        let v = er.read(t, counter);
+                        er.write(t, counter, v + 1);
+                        er.unlock(t, m);
+                        er.safepoint(t);
+                    }
+                    er.detach(t);
+                });
+            }
+        });
+        // The lock makes increments atomic: the count is exact.
+        assert_eq!(e.rt().obj(counter).data_read(), 4 * ITERS);
+        let r = e.rt().stats().report();
+        // Whether the counter crosses Cutoff_confl depends on how many of
+        // its conflicts resolved explicitly (parked waiters are coordinated
+        // with implicitly, which the policy ignores — footnote 7), so the
+        // move is scheduling-dependent; what must hold is that it moves at
+        // most once and that the run stays contention-free.
+        assert!(r.opt_to_pess() <= 1);
+        if r.opt_to_pess() == 1 {
+            // Once pessimistic, ownership transfers by CAS: pessimistic
+            // transitions materialize and coordination stays bounded.
+            assert!(r.pess_uncontended() > 0);
+        }
+        assert_eq!(r.pess_contended(), 0, "object-level DRF ⇒ no contention");
+    }
+
+    #[test]
+    fn racy_inc_pattern_completes_and_counts_contention() {
+        // The racyInc microbenchmark shape (Figure 8(b)): unsynchronized
+        // increments. Hybrid tracking's worst case — contended transitions
+        // trigger coordination repeatedly — but it must remain live and
+        // preserve instrumentation–access atomicity.
+        const ITERS: u64 = 2_000;
+        let e = engine();
+        let counter = ObjId(10);
+        let barrier = std::sync::Barrier::new(4);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let er = &e;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    let t = er.attach();
+                    barrier.wait();
+                    for _ in 0..ITERS {
+                        let v = er.read(t, counter);
+                        er.write(t, counter, v + 1);
+                        er.safepoint(t);
+                    }
+                    er.detach(t);
+                });
+            }
+        });
+        let r = e.rt().stats().report();
+        assert_eq!(r.accesses(), 4 * ITERS * 2);
+        // Racy increments lose updates; the final value is between ITERS and
+        // the total. (Atomicity of each instrumented access still held.)
+        let v = e.rt().obj(counter).data_read();
+        assert!((ITERS..=4 * ITERS).contains(&v), "final counter {v}");
+        let w = state_of(&e, counter);
+        assert!(!w.is_int() && !w.is_pess_locked(), "quiescent state: {w:?}");
+    }
+
+    #[test]
+    fn eager_unlock_ablation_tracks_correctly_without_buffering() {
+        // §3.1's strawman: states unlock after every access. Reentrancy
+        // disappears, the lock buffer stays empty, and tracking stays sound.
+        let e = HybridEngine::with_config(
+            Arc::new(Runtime::new(RuntimeConfig::sized(8, 32, 4))),
+            NullSupport,
+            HybridConfig {
+                policy: eager_pess(),
+                eager_unlock: true,
+                ..HybridConfig::default()
+            },
+        );
+        let t0 = e.attach();
+        let o = ObjId(12);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 1);
+        with_responsive_main(&e, t0, |t1| {
+            e.write(t1, o, 2); // → pessimistic via the policy
+            // Eager unlock: the state is already unlocked, mid-"region".
+            let w = StateWord(e.rt().obj(o).state().load(Ordering::SeqCst));
+            assert!(w.is_pess_unlocked(), "eagerly unlocked: {w:?}");
+        });
+        // Repeated owner writes never become reentrant (no lock is held).
+        e.write(t0, o, 3);
+        e.write(t0, o, 4);
+        assert_eq!(e.rt().obj(o).data_read(), 4);
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert_eq!(r.get(Event::PessReentrant), 0, "no reentrancy without holds");
+        assert!(r.pess_uncontended() >= 2);
+        assert_eq!(r.pess_contended(), 0);
+    }
+
+    #[test]
+    fn contended_cutoff_extension_rescues_racy_objects() {
+        // §7.5: "Hybrid tracking could alleviate this deficiency by modifying
+        // the adaptive policy to switch a pessimistic object back to
+        // optimistic states if accesses to it trigger coordination
+        // frequently."
+        const ITERS: u64 = 400;
+        let run = |params: PolicyParams| {
+            let e = engine_with(params);
+            let counter = ObjId(11);
+            let barrier = std::sync::Barrier::new(4);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let er = &e;
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        let t = er.attach();
+                        barrier.wait();
+                        for _ in 0..ITERS {
+                            let v = er.read(t, counter);
+                            er.write(t, counter, v + 1);
+                            er.safepoint(t);
+                        }
+                        er.detach(t);
+                    });
+                }
+            });
+            e.rt().stats().report()
+        };
+        let base = run(PolicyParams::default());
+        let ext = run(PolicyParams::default().with_contended_cutoff(8));
+        // With the extension the object flips back to optimistic, so it can
+        // flip at most... once (one-way valve) — and contended transitions
+        // stop accumulating after the flip.
+        assert!(ext.pess_to_opt() <= 1);
+        if base.pess_contended() > 0 {
+            assert!(
+                ext.pess_contended() <= base.pess_contended(),
+                "extension should not increase contention (base {}, ext {})",
+                base.pess_contended(),
+                ext.pess_contended()
+            );
+        }
+    }
+}

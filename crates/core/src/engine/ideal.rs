@@ -1,0 +1,276 @@
+//! The "Ideal" configuration of Figure 7: optimistic tracking **without**
+//! coordination for conflicting transitions.
+//!
+//! > "This unsound configuration estimates the cost of all conflicting
+//! > transitions becoming pessimistic and all same-state transitions
+//! > remaining optimistic. ... representing an estimated upper bound on the
+//! > performance that hybrid tracking might be able to provide." (§7.5)
+//!
+//! Conflicting transitions are resolved with a bare CAS (roughly the cost of
+//! a pessimistic transition — the statistics count them as
+//! [`Event::PessUncontended`] so the cost model prices them at the
+//! pessimistic rate); no thread ever waits for another. **This engine is
+//! unsound**: it can miss dependences and break instrumentation–access
+//! atomicity. It exists purely to bound the benefit of hybridization.
+
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+
+use crate::common::EngineCommon;
+use crate::engine::Tracker;
+use crate::policy::AdaptivePolicy;
+use crate::support::NullSupport;
+use crate::word::{Kind, StateWord};
+
+/// The unsound upper-bound estimate engine.
+pub struct IdealEngine {
+    common: EngineCommon<NullSupport>,
+}
+
+impl IdealEngine {
+    /// Ideal-estimate tracking over `rt`. Never combined with runtime
+    /// support (it is unsound by construction).
+    pub fn new(rt: Arc<Runtime>) -> Self {
+        IdealEngine {
+            common: EngineCommon::new(rt, NullSupport, AdaptivePolicy::default()),
+        }
+    }
+
+    #[cold]
+    fn write_slow(&self, ts: &mut crate::tstate::ThreadState, o: ObjId) {
+        let t = ts.tid;
+        let state = self.common.rt.obj(o).state();
+        let mut spin = self.common.rt.spinner("ideal write slow path");
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            let w = StateWord(cur);
+            if w == StateWord::wr_ex_opt(t) {
+                ts.stats.bump(Event::OptSameState);
+                return;
+            }
+            let upgrading = w == StateWord::rd_ex_opt(t);
+            if state
+                .compare_exchange(cur, StateWord::wr_ex_opt(t).0, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // Upgrades keep their optimistic cost; conflicts are priced as
+                // pessimistic transitions (the whole point of this estimate).
+                ts.stats.bump(if upgrading {
+                    Event::OptUpgrading
+                } else {
+                    Event::PessUncontended
+                });
+                return;
+            }
+            spin.spin();
+        }
+    }
+
+    #[cold]
+    fn read_slow(&self, ts: &mut crate::tstate::ThreadState, o: ObjId) {
+        let t = ts.tid;
+        let rt = &self.common.rt;
+        let state = rt.obj(o).state();
+        let mut spin = rt.spinner("ideal read slow path");
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            let w = StateWord(cur);
+            if w == StateWord::wr_ex_opt(t) || w == StateWord::rd_ex_opt(t) {
+                ts.stats.bump(Event::OptSameState);
+                return;
+            }
+            match w.kind() {
+                Kind::RdSh => {
+                    let c = w.rdsh_count();
+                    if ts.rd_sh_count >= c {
+                        ts.stats.bump(Event::OptSameState);
+                    } else {
+                        fence(Ordering::Acquire);
+                        ts.rd_sh_count = c;
+                        ts.stats.bump(Event::OptFence);
+                    }
+                    return;
+                }
+                Kind::RdEx => {
+                    let c = rt.next_rdsh_count();
+                    if state
+                        .compare_exchange(
+                            cur,
+                            StateWord::rd_sh_opt(c).0,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        ts.rd_sh_count = ts.rd_sh_count.max(c);
+                        ts.stats.bump(Event::OptUpgrading);
+                        return;
+                    }
+                }
+                Kind::WrEx => {
+                    // Conflicting read: bare CAS to RdEx(t), no coordination.
+                    if state
+                        .compare_exchange(
+                            cur,
+                            StateWord::rd_ex_opt(t).0,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        ts.stats.bump(Event::PessUncontended);
+                        return;
+                    }
+                }
+                Kind::Int => {}
+            }
+            spin.spin();
+        }
+    }
+}
+
+impl Tracker for IdealEngine {
+    fn rt(&self) -> &Arc<Runtime> {
+        &self.common.rt
+    }
+
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn attach(&self) -> ThreadId {
+        self.common.attach()
+    }
+
+    fn detach(&self, t: ThreadId) {
+        // SAFETY: called from the attached thread (Tracker contract).
+        unsafe { self.common.detach(t) }
+    }
+
+    #[inline(always)]
+    fn read(&self, t: ThreadId, o: ObjId) -> u64 {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        ts.stats.bump(Event::Read);
+        let obj = self.common.rt.obj(o);
+        let cur = obj.state().load(Ordering::Acquire);
+        let w = StateWord(cur);
+        // Fast path: exclusive owner, or read-shared with a fresh rdShCount
+        // (Table 1's Same∗ row) — loads and compares, no synchronization.
+        if cur == StateWord::wr_ex_opt(t).0
+            || cur == StateWord::rd_ex_opt(t).0
+            || (w.kind() == Kind::RdSh && !w.is_pess() && ts.rd_sh_count >= w.rdsh_count())
+        {
+            ts.stats.bump(Event::OptSameState);
+        } else {
+            self.read_slow(ts, o);
+        }
+        let v = obj.data_read();
+        ts.op_index += 1;
+        v
+    }
+
+    #[inline(always)]
+    fn write(&self, t: ThreadId, o: ObjId, v: u64) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        ts.stats.bump(Event::Write);
+        let obj = self.common.rt.obj(o);
+        if obj.state().load(Ordering::Acquire) == StateWord::wr_ex_opt(t).0 {
+            ts.stats.bump(Event::OptSameState);
+        } else {
+            self.write_slow(ts, o);
+        }
+        obj.data_write(v);
+        ts.op_index += 1;
+    }
+
+    fn alloc_init(&self, o: ObjId, owner: ThreadId) {
+        self.common
+            .rt
+            .obj(o)
+            .state()
+            .store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn safepoint(&self, t: ThreadId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.poll(ts);
+    }
+
+    fn lock(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_acquire(ts, m);
+    }
+
+    fn unlock(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_release(ts, m);
+    }
+
+    fn wait(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_wait(ts, m);
+    }
+
+    fn notify_all(&self, m: MonitorId) {
+        self.common.rt.monitor_notify_all(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_runtime::RuntimeConfig;
+
+    #[test]
+    fn ideal_never_waits_for_other_threads() {
+        // Conflict with a thread that never reaches a safe point: sound
+        // optimistic tracking would hang; the ideal estimate proceeds.
+        let e = IdealEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(4, 8, 1))));
+        let t0 = e.attach();
+        let o = ObjId(0);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 3);
+
+        std::thread::scope(|s| {
+            let er = &e;
+            s.spawn(move || {
+                let t1 = er.attach();
+                // t0 is running and never polls — ideal still completes.
+                assert_eq!(er.read(t1, o), 3);
+                er.write(t1, o, 4);
+                er.detach(t1);
+            })
+            .join()
+            .unwrap();
+        });
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        // The conflicting read was priced as pessimistic; the write that
+        // followed it was an owner upgrade (RdEx(t1) → WrEx(t1)).
+        assert_eq!(r.get(Event::PessUncontended), 1);
+        assert_eq!(r.get(Event::OptUpgrading), 1);
+        assert_eq!(r.opt_conflicting(), 0);
+    }
+
+    #[test]
+    fn ideal_same_state_accesses_stay_optimistic() {
+        let e = IdealEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1))));
+        let t = e.attach();
+        let o = ObjId(1);
+        e.alloc_init(o, t);
+        for i in 0..10 {
+            e.write(t, o, i);
+        }
+        e.detach(t);
+        assert_eq!(e.rt().stats().get(Event::OptSameState), 10);
+    }
+}

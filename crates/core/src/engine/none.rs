@@ -1,0 +1,98 @@
+//! The untracked baseline: stands in for the paper's "unmodified Jikes RVM".
+//!
+//! Accesses go straight to the data word; monitors run with no hooks. Every
+//! overhead in Figure 7/8/9 is measured relative to this engine running the
+//! identical workload.
+
+use std::sync::Arc;
+
+use drink_runtime::{MonitorId, NoHooks, ObjId, Runtime, ThreadId};
+
+use crate::engine::Tracker;
+
+/// No instrumentation at all.
+pub struct NoTracking {
+    rt: Arc<Runtime>,
+}
+
+impl NoTracking {
+    /// Baseline engine over `rt`.
+    pub fn new(rt: Arc<Runtime>) -> Self {
+        NoTracking { rt }
+    }
+}
+
+impl Tracker for NoTracking {
+    fn rt(&self) -> &Arc<Runtime> {
+        &self.rt
+    }
+
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn attach(&self) -> ThreadId {
+        self.rt.register_thread()
+    }
+
+    fn detach(&self, _t: ThreadId) {}
+
+    #[inline(always)]
+    fn read(&self, _t: ThreadId, o: ObjId) -> u64 {
+        self.rt.obj(o).data_read()
+    }
+
+    #[inline(always)]
+    fn write(&self, _t: ThreadId, o: ObjId, v: u64) {
+        self.rt.obj(o).data_write(v);
+    }
+
+    fn alloc_init(&self, _o: ObjId, _owner: ThreadId) {}
+
+    #[inline(always)]
+    fn safepoint(&self, _t: ThreadId) {}
+
+    fn lock(&self, t: ThreadId, m: MonitorId) {
+        self.rt.monitor_acquire(m, t, &NoHooks);
+    }
+
+    fn unlock(&self, t: ThreadId, m: MonitorId) {
+        self.rt.monitor_release(m, t, &NoHooks);
+    }
+
+    fn wait(&self, t: ThreadId, m: MonitorId) {
+        self.rt.monitor_wait(m, t, &NoHooks);
+    }
+
+    fn notify_all(&self, m: MonitorId) {
+        self.rt.monitor_notify_all(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_runtime::RuntimeConfig;
+
+    #[test]
+    fn baseline_reads_writes_data_directly() {
+        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let e = NoTracking::new(rt);
+        let t = e.attach();
+        e.write(t, ObjId(1), 7);
+        assert_eq!(e.read(t, ObjId(1)), 7);
+        assert_eq!(e.read(t, ObjId(0)), 0);
+        e.detach(t);
+    }
+
+    #[test]
+    fn baseline_monitors_exclude() {
+        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let e = NoTracking::new(rt);
+        let t = e.attach();
+        e.lock(t, MonitorId(0));
+        assert_eq!(e.rt().monitor(MonitorId(0)).holder(), Some(t));
+        e.unlock(t, MonitorId(0));
+        assert_eq!(e.rt().monitor(MonitorId(0)).holder(), None);
+    }
+}

@@ -1,0 +1,584 @@
+//! Optimistic tracking (§2.2): Octet.
+//!
+//! The fast path is a single load and compare — no atomic operation, no
+//! fence. The slow path (Figure 1) distinguishes:
+//!
+//! * **upgrading** transitions (`RdEx(T) → WrEx(T)` by the owner,
+//!   `RdEx(T1) → RdSh(c)` by a second reader): one CAS;
+//! * **fence** transitions (first read of a RdSh epoch newer than the
+//!   thread's `rdShCount`): a memory fence;
+//! * **conflicting** transitions: the accessor claims the state with the
+//!   intermediate `Int(T)` state, then *coordinates* with the previous
+//!   owner(s) — a roundtrip through their next safe point (explicit), or an
+//!   epoch CAS if they are blocked (implicit) — before installing the new
+//!   state. While waiting, the accessor itself responds to requests
+//!   (Figure 1 line 18), which keeps the protocol deadlock-free.
+//!
+//! RdSh conflicts coordinate with every other registered thread
+//! (footnote 4).
+
+use std::sync::atomic::{fence, Ordering};
+use std::sync::Arc;
+
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+
+use crate::common::EngineCommon;
+use crate::coord::{coordinate_all, coordinate_one};
+use crate::engine::Tracker;
+use crate::policy::AdaptivePolicy;
+use crate::support::{CoordMode, NullSupport, Support, SupportCx, TransitionEv};
+use crate::word::{Kind, StateWord};
+
+/// The Octet engine.
+pub struct OptimisticEngine<S: Support = NullSupport> {
+    common: EngineCommon<S>,
+}
+
+impl OptimisticEngine<NullSupport> {
+    /// Optimistic tracking over `rt`, no runtime support.
+    pub fn new(rt: Arc<Runtime>) -> Self {
+        OptimisticEngine::with_support(rt, NullSupport)
+    }
+}
+
+impl<S: Support> OptimisticEngine<S> {
+    /// Optimistic tracking with runtime support `support`.
+    pub fn with_support(rt: Arc<Runtime>, support: S) -> Self {
+        OptimisticEngine {
+            // Octet has no adaptive policy, but we still count each object's
+            // explicit conflicts in its profile word (with an infinite cutoff
+            // so nothing ever changes state). This powers the Figure 6 CDF
+            // and the §7.3 limit study, at a cost paid only on conflicting
+            // transitions — which already cost a coordination roundtrip.
+            common: EngineCommon::new(
+                rt,
+                support,
+                AdaptivePolicy::new(crate::policy::PolicyParams::infinite_cutoff()),
+            ),
+        }
+    }
+
+    /// Shared engine state (used by runtime-support crates).
+    pub fn common(&self) -> &EngineCommon<S> {
+        &self.common
+    }
+
+    /// Returns false iff the write was aborted (`abortable` and the support
+    /// requested it after a mid-transition yield); nothing is claimed then.
+    #[cold]
+    fn write_slow(&self, ts: &mut crate::tstate::ThreadState, o: ObjId, abortable: bool) -> bool {
+        let t = ts.tid;
+        let rt = &self.common.rt;
+        let obj = rt.obj(o);
+        let state = obj.state();
+        let mut spin = rt.spinner("optimistic write slow path");
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            let w = StateWord(cur);
+            if w == StateWord::wr_ex_opt(t) {
+                // Raced with our own earlier installment (retry after a failed
+                // CAS that another iteration completed) — same state now.
+                ts.stats.bump(Event::OptSameState);
+                return true;
+            }
+            if w.is_int() {
+                // Another thread is mid-coordination on this object; act as a
+                // safe point and retry (Figure 1 line 9).
+                self.common.respond_pending(ts);
+                if abortable && self.common.support.should_abort(t) {
+                    return false;
+                }
+                spin.spin();
+                continue;
+            }
+            if w == StateWord::rd_ex_opt(t) {
+                // Upgrading transition: RdEx(T) → WrEx(T), one CAS.
+                if state
+                    .compare_exchange(
+                        cur,
+                        StateWord::wr_ex_opt(t).0,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    ts.stats.bump(Event::OptUpgrading);
+                    let cx = self.common.cx(ts);
+                    self.common.support.on_transition(cx, o, TransitionEv::UpgradeOwn);
+                    return true;
+                }
+                continue;
+            }
+            // Conflicting transition: WrEx(T1), RdEx(T1), or RdSh(c).
+            if state
+                .compare_exchange(cur, StateWord::int(t).0, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let mode = self.conflict_coordinate(ts, o, w);
+            if abortable && self.common.support.should_abort(t) {
+                // Yielded mid-coordination: restore the old state and abort
+                // (the stale coordination only made the previous owner yield,
+                // which is always safe).
+                state.store(cur, Ordering::Release);
+                return false;
+            }
+            // Support first, then publish: recorder side-table entries must
+            // be visible before any thread can observe the new state.
+            self.finish_conflict(ts, o, mode, true);
+            state.store(StateWord::wr_ex_opt(t).0, Ordering::Release);
+            return true;
+        }
+    }
+
+    fn write_impl(&self, t: ThreadId, o: ObjId, v: u64, abortable: bool) -> Option<u64> {
+        // SAFETY: attached thread (Tracker contract).
+        let ts = unsafe { self.common.ts(t) };
+        let obj = self.common.rt.obj(o);
+        // Fast path (Figure 10(a)): only WrEx(T) — the expected common case.
+        if obj.state().load(Ordering::Acquire) == StateWord::wr_ex_opt(t).0 {
+            ts.stats.bump(Event::OptSameState);
+        } else if !self.write_slow(ts, o, abortable) {
+            return None;
+        }
+        ts.stats.bump(Event::Write);
+        let prev = obj.data_read();
+        obj.data_write(v);
+        ts.op_index += 1;
+        Some(prev)
+    }
+
+    #[cold]
+    fn read_slow(&self, ts: &mut crate::tstate::ThreadState, o: ObjId) {
+        let t = ts.tid;
+        let rt = &self.common.rt;
+        let obj = rt.obj(o);
+        let state = obj.state();
+        let mut spin = rt.spinner("optimistic read slow path");
+        loop {
+            let cur = state.load(Ordering::Acquire);
+            let w = StateWord(cur);
+            if w == StateWord::wr_ex_opt(t) || w == StateWord::rd_ex_opt(t) {
+                ts.stats.bump(Event::OptSameState);
+                return;
+            }
+            if w.is_int() {
+                self.common.respond_pending(ts);
+                spin.spin();
+                continue;
+            }
+            match w.kind() {
+                Kind::RdSh => {
+                    let c = w.rdsh_count();
+                    if ts.rd_sh_count >= c {
+                        ts.stats.bump(Event::OptSameState);
+                    } else {
+                        // Fence transition: ensure visibility of the writes
+                        // that preceded this RdSh epoch's creation.
+                        fence(Ordering::Acquire);
+                        ts.rd_sh_count = c;
+                        ts.stats.bump(Event::OptFence);
+                        let cx = self.common.cx(ts);
+                        self.common
+                            .support
+                            .on_transition(cx, o, TransitionEv::Fence { c });
+                    }
+                    return;
+                }
+                Kind::RdEx => {
+                    // Upgrading transition: RdEx(T1) → RdSh(c), c from the
+                    // global counter (Table 1 footnote).
+                    let prev_owner = w.owner();
+                    let pre = self.common.pre_epoch();
+                    if self.common.claim(state, cur, t, StateWord::rd_sh_opt(pre)) {
+                        let c = self.common.post_epoch(pre);
+                        let final_w = StateWord::rd_sh_opt(c);
+                        ts.rd_sh_count = ts.rd_sh_count.max(c);
+                        ts.stats.bump(Event::OptUpgrading);
+                        let cx = self.common.cx(ts);
+                        self.common.support.on_transition(
+                            cx,
+                            o,
+                            TransitionEv::RdShCreate {
+                                prev_owner,
+                                c,
+                                pess: false,
+                            },
+                        );
+                        self.common.publish(state, final_w);
+                        return;
+                    }
+                    continue;
+                }
+                Kind::WrEx => {
+                    // Conflicting transition: WrEx(T1) → RdEx(T2).
+                    if state
+                        .compare_exchange(
+                            cur,
+                            StateWord::int(t).0,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    let mode = self.conflict_coordinate(ts, o, w);
+                    self.finish_conflict(ts, o, mode, false);
+                    state.store(StateWord::rd_ex_opt(t).0, Ordering::Release);
+                    return;
+                }
+                Kind::Int => unreachable!("handled above"),
+            }
+        }
+    }
+
+    /// Coordinate for a conflicting transition whose old state was `w`.
+    /// Fills `ts.src_scratch` with the happens-before sources.
+    fn conflict_coordinate(
+        &self,
+        ts: &mut crate::tstate::ThreadState,
+        o: ObjId,
+        w: StateWord,
+    ) -> CoordMode {
+        let rt = self.common.rt.clone();
+        let t = ts.tid;
+        let mut scratch = std::mem::take(&mut ts.src_scratch);
+        scratch.clear();
+        let mode = {
+            let mut respond = self.common.respond_closure(ts);
+            if w.kind() == Kind::RdSh {
+                coordinate_all(&rt, t, Some(o), &mut respond, &mut scratch)
+            } else {
+                let out = coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
+                scratch.push((w.owner(), out.source_clock));
+                out.mode
+            }
+        };
+        ts.src_scratch = scratch;
+        ts.stats.bump(Event::CoordinationRoundtrip);
+        mode
+    }
+
+    /// Count and report a completed conflicting transition.
+    fn finish_conflict(
+        &self,
+        ts: &mut crate::tstate::ThreadState,
+        o: ObjId,
+        mode: CoordMode,
+        write: bool,
+    ) {
+        ts.stats.bump(match mode {
+            CoordMode::Explicit | CoordMode::Mixed => Event::OptConflictExplicit,
+            CoordMode::Implicit => Event::OptConflictImplicit,
+        });
+        if matches!(mode, CoordMode::Explicit | CoordMode::Mixed) {
+            // Per-object conflict histogram (never changes states: ∞ cutoff).
+            self.common
+                .policy
+                .on_explicit_conflict(self.common.rt.obj(o).profile());
+        }
+        let cx = SupportCx {
+            rt: &self.common.rt,
+            t: ts.tid,
+            op: ts.op_index,
+        };
+        self.common.support.on_transition(
+            cx,
+            o,
+            TransitionEv::Conflict {
+                mode,
+                sources: &ts.src_scratch,
+                write,
+            },
+        );
+    }
+}
+
+impl<S: Support> Tracker for OptimisticEngine<S> {
+    fn rt(&self) -> &Arc<Runtime> {
+        &self.common.rt
+    }
+
+    fn name(&self) -> &'static str {
+        "optimistic"
+    }
+
+    fn attach(&self) -> ThreadId {
+        self.common.attach()
+    }
+
+    fn detach(&self, t: ThreadId) {
+        // SAFETY: called from the attached thread (Tracker contract).
+        unsafe { self.common.detach(t) }
+    }
+
+    #[inline(always)]
+    fn read(&self, t: ThreadId, o: ObjId) -> u64 {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        ts.stats.bump(Event::Read);
+        let obj = self.common.rt.obj(o);
+        let cur = obj.state().load(Ordering::Acquire);
+        let w = StateWord(cur);
+        // Fast path: exclusive owner, or read-shared with a fresh rdShCount
+        // (Table 1's Same∗ row) — loads and compares, no synchronization.
+        if cur == StateWord::wr_ex_opt(t).0
+            || cur == StateWord::rd_ex_opt(t).0
+            || (w.kind() == Kind::RdSh && !w.is_pess() && ts.rd_sh_count >= w.rdsh_count())
+        {
+            ts.stats.bump(Event::OptSameState);
+        } else {
+            self.read_slow(ts, o);
+        }
+        let v = obj.data_read();
+        ts.op_index += 1;
+        v
+    }
+
+    #[inline(always)]
+    fn write(&self, t: ThreadId, o: ObjId, v: u64) {
+        self.write_impl(t, o, v, false);
+    }
+
+    fn try_write(&self, t: ThreadId, o: ObjId, v: u64) -> Option<u64> {
+        self.write_impl(t, o, v, true)
+    }
+
+    fn alloc_init(&self, o: ObjId, owner: ThreadId) {
+        self.common
+            .rt
+            .obj(o)
+            .state()
+            .store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+    }
+
+    #[inline]
+    fn safepoint(&self, t: ThreadId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.poll(ts);
+    }
+
+    fn lock(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_acquire(ts, m);
+    }
+
+    fn unlock(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_release(ts, m);
+    }
+
+    fn wait(&self, t: ThreadId, m: MonitorId) {
+        // SAFETY: attached thread.
+        let ts = unsafe { self.common.ts(t) };
+        self.common.monitor_wait(ts, m);
+    }
+
+    fn notify_all(&self, m: MonitorId) {
+        self.common.rt.monitor_notify_all(m);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_runtime::RuntimeConfig;
+
+    fn engine() -> OptimisticEngine {
+        OptimisticEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(8, 16, 2))))
+    }
+
+    fn state_of(e: &OptimisticEngine, o: ObjId) -> StateWord {
+        StateWord(e.rt().obj(o).state().load(Ordering::SeqCst))
+    }
+
+    #[test]
+    fn owner_accesses_take_fast_path() {
+        let e = engine();
+        let t = e.attach();
+        let o = ObjId(0);
+        e.alloc_init(o, t);
+        e.write(t, o, 1);
+        e.write(t, o, 2);
+        assert_eq!(e.read(t, o), 2);
+        e.detach(t);
+        let r = e.rt().stats().report();
+        assert_eq!(r.get(Event::OptSameState), 3);
+        assert_eq!(r.opt_conflicting(), 0);
+    }
+
+    #[test]
+    fn own_read_then_write_is_upgrading() {
+        let e = engine();
+        let t = e.attach();
+        let o = ObjId(1);
+        // Make the object RdEx(t): start owned elsewhere conceptually by
+        // initializing directly.
+        e.rt()
+            .obj(o)
+            .state()
+            .store(StateWord::rd_ex_opt(t).0, Ordering::SeqCst);
+        e.write(t, o, 5);
+        assert_eq!(state_of(&e, o), StateWord::wr_ex_opt(t));
+        e.detach(t);
+        assert_eq!(e.rt().stats().get(Event::OptUpgrading), 1);
+    }
+
+    #[test]
+    fn second_reader_upgrades_to_rdsh_and_fences() {
+        let e = engine();
+        let t0 = e.attach();
+        let o = ObjId(2);
+        e.rt()
+            .obj(o)
+            .state()
+            .store(StateWord::rd_ex_opt(t0).0, Ordering::SeqCst);
+        e.rt().obj(o).data_write(42);
+
+        std::thread::scope(|s| {
+            let er = &e;
+            s.spawn(move || {
+                let t1 = er.attach();
+                assert_eq!(er.read(t1, o), 42); // RdEx(t0) → RdSh(c)
+                er.detach(t1);
+            });
+        });
+        let w = state_of(&e, o);
+        assert_eq!(w.kind(), Kind::RdSh);
+        // t0's first read of the RdSh epoch is a fence transition.
+        assert_eq!(e.read(t0, o), 42);
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert_eq!(r.get(Event::OptUpgrading), 1);
+        assert_eq!(r.get(Event::OptFence), 1);
+    }
+
+    #[test]
+    fn conflicting_write_coordinates_and_transfers_ownership() {
+        let e = engine();
+        let t0 = e.attach();
+        let o = ObjId(3);
+        e.alloc_init(o, t0);
+        e.write(t0, o, 7);
+
+        std::thread::scope(|s| {
+            let er = &e;
+            let writer = s.spawn(move || {
+                let t1 = er.attach();
+                er.write(t1, o, 8); // conflicts with WrEx(t0)
+                er.detach(t1);
+                t1
+            });
+            // t0 keeps polling safe points until the writer finishes,
+            // responding to the coordination request.
+            let mut spin = e.rt().spinner("writer to finish");
+            while !writer.is_finished() {
+                e.safepoint(t0);
+                spin.spin();
+            }
+            let t1 = writer.join().unwrap();
+            assert_eq!(state_of(&e, o), StateWord::wr_ex_opt(t1));
+        });
+        assert_eq!(e.read(t0, o), 8); // conflicting read back: WrEx(t1) → RdEx(t0)
+        assert_eq!(state_of(&e, o), StateWord::rd_ex_opt(t0));
+        e.detach(t0);
+        let r = e.rt().stats().report();
+        assert!(r.opt_conflicting() >= 2, "write + read-back both conflict");
+        assert!(r.get(Event::RespondedExplicit) >= 1);
+    }
+
+    #[test]
+    fn conflict_with_detached_thread_resolves_implicitly() {
+        let e = engine();
+        let o = ObjId(4);
+        std::thread::scope(|s| {
+            let er = &e;
+            s.spawn(move || {
+                let t0 = er.attach();
+                er.alloc_init(o, t0);
+                er.write(t0, o, 11);
+                er.detach(t0); // permanently blocked from now on
+            })
+            .join()
+            .unwrap();
+
+            s.spawn(move || {
+                let t1 = er.attach();
+                assert_eq!(er.read(t1, o), 11);
+                er.detach(t1);
+            });
+        });
+        let r = e.rt().stats().report();
+        assert_eq!(r.get(Event::OptConflictImplicit), 1);
+        assert_eq!(r.get(Event::OptConflictExplicit), 0);
+    }
+
+    #[test]
+    fn rdsh_write_coordinates_with_all_threads() {
+        let e = engine();
+        let t0 = e.attach();
+        let o = ObjId(5);
+        e.rt()
+            .obj(o)
+            .state()
+            .store(StateWord::rd_sh_opt(1).0, Ordering::SeqCst);
+
+        std::thread::scope(|s| {
+            let er = &e;
+            let h = s.spawn(move || {
+                let t1 = er.attach();
+                er.write(t1, o, 9); // RdSh conflict: coordinate with t0
+                er.detach(t1);
+                t1
+            });
+            let mut spin = e.rt().spinner("rdsh writer to finish");
+            while !h.is_finished() {
+                e.safepoint(t0);
+                spin.spin();
+            }
+            let t1 = h.join().unwrap();
+            assert_eq!(state_of(&e, o), StateWord::wr_ex_opt(t1));
+        });
+        e.detach(t0);
+        assert_eq!(e.rt().stats().report().opt_conflicting(), 1);
+    }
+
+    #[test]
+    fn symmetric_conflicts_do_not_deadlock() {
+        // Two threads repeatedly write each other's object: every access is a
+        // conflicting transition, and both threads constantly coordinate with
+        // each other. Deadlock freedom comes from responding-while-waiting.
+        let e = engine();
+        let oa = ObjId(6);
+        let ob = ObjId(7);
+        std::thread::scope(|s| {
+            let er = &e;
+            s.spawn(move || {
+                let t = er.attach();
+                er.alloc_init(oa, t);
+                for i in 0..2_000 {
+                    er.write(t, oa, i);
+                    er.write(t, ob, i);
+                }
+                er.detach(t);
+            });
+            s.spawn(move || {
+                let t = er.attach();
+                er.alloc_init(ob, t);
+                for i in 0..2_000 {
+                    er.write(t, ob, i);
+                    er.write(t, oa, i);
+                }
+                er.detach(t);
+            });
+        });
+        let r = e.rt().stats().report();
+        assert_eq!(r.accesses(), 8_000);
+        assert!(r.opt_conflicting() > 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! # drink-core: hybrid pessimistic/optimistic dependence tracking
+//!
+//! A from-scratch Rust implementation of the tracking schemes of
+//!
+//! > Cao, Zhang, Sengupta, Bond. *Drinking from Both Glasses: Combining
+//! > Pessimistic and Optimistic Tracking of Cross-Thread Dependences.*
+//! > PPoPP 2016.
+//!
+//! The crate provides:
+//!
+//! * the per-object [`word::StateWord`] encoding every state of the hybrid
+//!   model (§3.2, Appendix B);
+//! * five [`engine`]s: untracked baseline, pessimistic (§2.1), optimistic
+//!   (Octet, §2.2), hybrid (§3), and the unsound "Ideal" estimate (§7.5);
+//! * the profile-guided [`policy::AdaptivePolicy`] (§6);
+//! * the [`support::Support`] observer interface that the dependence
+//!   recorder (`drink-replay`) and the region-serializability enforcer
+//!   (`drink-rs`) build on;
+//! * the [`session::Session`] façade workloads drive everything through.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use drink_core::prelude::*;
+//! use drink_runtime::{ObjId, Runtime, RuntimeConfig};
+//!
+//! let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 16, 2)));
+//! let engine = HybridEngine::new(rt);
+//! std::thread::scope(|s| {
+//!     for _ in 0..2 {
+//!         let engine = &engine;
+//!         s.spawn(move || {
+//!             let sess = Session::attach(engine);
+//!             for i in 0..100 {
+//!                 let v = sess.read(ObjId(0));
+//!                 sess.write(ObjId(1), v + i);
+//!                 sess.safepoint();
+//!             }
+//!         });
+//!     }
+//! });
+//! let report = engine.rt().stats().report();
+//! assert_eq!(report.accesses(), 400);
+//! ```
+
+pub mod common;
+pub mod coord;
+pub mod engine;
+pub mod policy;
+pub mod session;
+pub mod support;
+pub mod tstate;
+pub mod word;
+
+/// The names most users need.
+pub mod prelude {
+    pub use crate::engine::hybrid::{HybridConfig, HybridEngine, SelfReadMode};
+    pub use crate::engine::ideal::IdealEngine;
+    pub use crate::engine::none::NoTracking;
+    pub use crate::engine::optimistic::OptimisticEngine;
+    pub use crate::engine::pessimistic::PessimisticEngine;
+    pub use crate::engine::Tracker;
+    pub use crate::policy::{AdaptivePolicy, PolicyParams};
+    pub use crate::session::Session;
+    pub use crate::support::{NullSupport, Support};
+}
+
+pub use engine::Tracker;
+pub use session::Session;

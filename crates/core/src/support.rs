@@ -1,0 +1,243 @@
+//! The interface between tracking engines and runtime support.
+//!
+//! The paper layers two kinds of runtime support on top of tracking: a
+//! dependence recorder (§4) and a region-serializability enforcer (§5). Both
+//! need to observe what the engines do — state transitions with their
+//! happens-before sources, responding safe points, PSRO flushes — without the
+//! engines knowing anything about them. [`Support`] is that observer
+//! interface; every method has an empty inline default so the
+//! tracking-alone configurations ([`NullSupport`]) compile to exactly the
+//! uninstrumented engine.
+//!
+//! ## How transition events carry happens-before information
+//!
+//! The engines hand the recorder *protocol-derived* sources:
+//!
+//! * **coordination** (explicit or implicit) yields `(thread, clock)` pairs
+//!   read from responses or from blocked threads' release clocks — these
+//!   dominate the remote thread's last access (Figure 4(b));
+//! * **pessimistic uncontended transitions involving conflicting states**
+//!   yield remote release clocks read without communication — sound because
+//!   deferred unlocking means an *unlocked* pessimistic state was flushed at
+//!   a PSRO no later than the clock value read (§4.2);
+//! * **upgrades and fences** carry no protocol source. The recorder closes
+//!   the gap with a per-object *last-transition* side table: every recorded
+//!   transition deposits `(thread, clock)` for the next accessor. This is
+//!   sound for exactly these rows of Table 3 because after an upgrade/fence
+//!   the previous holder can only have performed *reads* of the object since
+//!   its own (recorded) transition — see `drink-replay` for the full
+//!   argument.
+
+use drink_runtime::{MonitorId, ObjId, Runtime, ThreadId};
+
+/// How a conflicting transition's coordination was resolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordMode {
+    /// Roundtrip request/response through the remote thread's safe point.
+    Explicit,
+    /// Epoch CAS against a blocked remote thread.
+    Implicit,
+    /// Mixed (RdSh conflicts coordinate with every thread; some responded
+    /// explicitly, some were blocked).
+    Mixed,
+}
+
+/// A non-same-state transition, as reported to [`Support::on_transition`].
+///
+/// `sources` slices borrow the engine's per-thread scratch buffer; consumers
+/// must copy what they keep.
+#[derive(Clone, Copy, Debug)]
+pub enum TransitionEv<'a> {
+    /// Upgrading transition by the owner itself (RdEx(T) → WrEx(T) on T's
+    /// write): no cross-thread ordering is created.
+    UpgradeOwn,
+    /// A RdSh state was created with counter `c` by this thread reading an
+    /// object last held by `prev_owner` (covers both `RdExOpt(T1) → RdShOpt`
+    /// and the pessimistic `RdEx*/WrExRLock(T1) → RdShRLock` rows).
+    RdShCreate {
+        /// The previous exclusive holder.
+        prev_owner: ThreadId,
+        /// The freshly claimed `gRdShCount` value.
+        c: u64,
+        /// True if the new state is pessimistic (RdShRLock).
+        pess: bool,
+    },
+    /// Fence transition: this thread's first read of RdSh epoch `c`
+    /// (its `rdShCount` was stale). Covers the optimistic fence row and the
+    /// equivalent pessimistic `RdShPess(c)` first-read.
+    Fence {
+        /// The epoch being fenced against.
+        c: u64,
+    },
+    /// Conflicting transition resolved by coordination.
+    Conflict {
+        /// Explicit, implicit, or mixed.
+        mode: CoordMode,
+        /// `(thread, release clock)` pairs dominating each remote thread's
+        /// last access.
+        sources: &'a [(ThreadId, u64)],
+        /// Is the triggering access a write? (Race detectors need the access
+        /// kind: read→read transfers are not conflicts.)
+        write: bool,
+    },
+    /// Pessimistic uncontended transition involving conflicting states
+    /// (e.g. `WrExPess(T1)` read by T2): sources are remote release clocks
+    /// read without communication.
+    PessConflictingAcquire {
+        /// `(thread, release clock)` pairs.
+        sources: &'a [(ThreadId, u64)],
+        /// Is the triggering access a write?
+        write: bool,
+    },
+    /// This thread read-locked its *own* unlocked exclusive state
+    /// (`WrExPess(T) → WrEx*Lock(T)` or `RdExPess(T) → RdExRLock(T)`). No
+    /// cross-thread edge, but recorders must refresh the object's
+    /// last-transition entry: a second reader may later upgrade this state
+    /// to `RdShRLock(2)` and needs an edge dominating this thread's earlier
+    /// writes — which this (post-write, program-ordered) read-lock provides.
+    PessLocalAcquire,
+}
+
+/// What a responding thread is about to give up (passed to
+/// [`Support::before_yield`]). Speculation-based support uses it to decide
+/// whether its in-flight region is actually disturbed.
+#[derive(Clone, Copy, Debug)]
+pub struct YieldInfo<'a> {
+    /// Objects named by the pending explicit requests (the requesters will
+    /// take exactly these via their Int claims).
+    pub requested: &'a [ObjId],
+    /// Pessimistic objects this thread currently holds locked — the flush
+    /// that follows will unlock *all* of them.
+    pub pess_locked: &'a [ObjId],
+}
+
+/// Context handed to every support callback.
+#[derive(Clone, Copy)]
+pub struct SupportCx<'a> {
+    /// The runtime (for reading clocks, completing side tables, etc.).
+    pub rt: &'a Runtime,
+    /// The thread the event occurred on.
+    pub t: ThreadId,
+    /// The thread's deterministic operation index: the id of the program
+    /// operation currently executing (or, between operations, the id the
+    /// next operation will have). Recorders pin log entries to this.
+    pub op: u64,
+}
+
+/// Observer interface for runtime support built on a tracking engine.
+///
+/// All methods default to no-ops; [`NullSupport`] is the canonical "tracking
+/// alone" instantiation. Implementations must be cheap and reentrancy-free:
+/// they are called from instrumentation paths, sometimes while the calling
+/// thread holds pessimistic object locks.
+#[allow(unused_variables)]
+pub trait Support: Send + Sync + 'static {
+    /// If true, engines *pre-publish* transitions: the state word is parked
+    /// at `Int(T)` while [`Support::on_transition`] runs and only then set to
+    /// the final state. Recorders need this — their per-object side-table
+    /// and RdSh-epoch entries must be visible before any thread can observe
+    /// (and record edges against) the new state. Costs one extra store per
+    /// slow-path transition, so it is off for supports that don't read
+    /// per-object recorder state.
+    const PREPUBLISH: bool = false;
+
+    /// A non-same-state transition of `obj` completed on thread `cx.t`.
+    /// Called with the final state already decided; if
+    /// [`Support::PREPUBLISH`] is set, the state word still reads `Int(T)`
+    /// while this runs. Always called *before* the program access is
+    /// performed.
+    #[inline(always)]
+    fn on_transition(&self, cx: SupportCx<'_>, obj: ObjId, ev: TransitionEv<'_>) {}
+
+    /// Thread `cx.t` flushed its lock buffer at a PSRO; its release clock is
+    /// now `clock`.
+    #[inline(always)]
+    fn on_release(&self, cx: SupportCx<'_>, clock: u64) {}
+
+    /// Thread `cx.t` responded to explicit coordination request(s) at a safe
+    /// point; its release clock is now `clock`. Runs after the flush and
+    /// clock bump, before the response tokens complete.
+    #[inline(always)]
+    fn on_responded(&self, cx: SupportCx<'_>, clock: u64) {}
+
+    /// Thread `cx.t` is about to relinquish ownership of object states (it
+    /// will flush and respond, or it is entering a blocking safe point). The
+    /// RS enforcer rolls back its in-flight region here — *before* any other
+    /// thread can observe the yielded states — but only when `info` actually
+    /// intersects the region's accesses.
+    #[inline(always)]
+    fn before_yield(&self, cx: SupportCx<'_>, info: YieldInfo<'_>) {}
+
+    /// Thread `cx.t` acquired monitor `m`; `prev` identifies the previous
+    /// release (thread and its release clock at release time), if any.
+    #[inline(always)]
+    fn on_monitor_acquire(&self, cx: SupportCx<'_>, m: MonitorId, prev: Option<(ThreadId, u64)>) {}
+
+    /// Thread `cx.t` is about to release monitor `m` (before the release
+    /// becomes visible). Race detectors publish their sync vector clocks
+    /// here.
+    #[inline(always)]
+    fn on_monitor_release(&self, cx: SupportCx<'_>, m: MonitorId) {}
+
+    /// Thread `cx.t` woke from a blocking safe point and learned it had been
+    /// coordinated with implicitly.
+    #[inline(always)]
+    fn on_wake_after_implicit(&self, cx: SupportCx<'_>) {}
+
+    /// Should thread `t` abort its in-flight *write* instead of completing
+    /// it? Engines consult this in write slow paths after any point where the
+    /// thread may have yielded ownership (responded to coordination). The RS
+    /// enforcer answers true once the thread's current region has been rolled
+    /// back — completing the write would publish a value from an aborted
+    /// region. Reads never abort (a stale read acquisition is harmless; the
+    /// region discards the value and restarts).
+    #[inline(always)]
+    fn should_abort(&self, t: ThreadId) -> bool {
+        let _ = t;
+        false
+    }
+}
+
+/// Tracking alone: every hook is a no-op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSupport;
+
+impl Support for NullSupport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Support that records which hooks fired, proving defaults are
+    /// overridable and the dispatch is static.
+    #[derive(Default)]
+    struct Probe {
+        transitions: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Support for Probe {
+        fn on_transition(&self, _cx: SupportCx<'_>, _obj: ObjId, _ev: TransitionEv<'_>) {
+            self.transitions
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn null_support_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<NullSupport>(), 0);
+    }
+
+    #[test]
+    fn probe_receives_events() {
+        let rt = Runtime::new(Default::default());
+        let p = Probe::default();
+        let cx = SupportCx {
+            rt: &rt,
+            t: ThreadId(0),
+            op: 7,
+        };
+        p.on_transition(cx, ObjId(1), TransitionEv::UpgradeOwn);
+        p.on_release(cx, 3); // default no-op
+        assert_eq!(p.transitions.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-thread tracking state: lock buffer, read set, rdShCount, statistics.
+//!
+//! Hybrid tracking keeps three pieces of thread-private state (§3.2,
+//! Appendix B):
+//!
+//! * the **lock buffer**: every pessimistic object whose state this thread
+//!   has locked, flushed (unlocked) at PSROs and responding safe points;
+//! * the **read set** `T.rdSet`: objects this thread has read-locked, used to
+//!   make repeated reads of `RdShRLock` objects reentrant (atomic-op-free);
+//!   cleared whenever the lock buffer is flushed;
+//! * `T.rdShCount`: Octet's per-thread high-water mark over the global RdSh
+//!   counter, deciding whether a RdSh read needs a fence transition.
+//!
+//! All of this state is accessed **only by the owning thread** — flushing is
+//! always performed by the owner (remote threads *request* a flush via
+//! coordination; they never reach into another thread's buffers). The
+//! [`OwnedByThread`] wrapper encodes that invariant: it is `Sync` so engines
+//! can hold a slot per thread in a shared table, but access is checked (in
+//! debug builds) to come from the thread that first claimed the slot.
+
+use std::cell::UnsafeCell;
+use std::collections::HashSet;
+
+use drink_runtime::{LocalStats, ObjId, ThreadId};
+
+/// A cell that is shared between threads structurally but owned by exactly
+/// one thread dynamically.
+///
+/// # Safety contract
+///
+/// Slot `t` in an engine's per-thread table may only be accessed from the OS
+/// thread that attached as mutator `t`. Engines uphold this because every
+/// access path (`Session` methods, `RtHooks` callbacks, coordination respond
+/// loops) executes on the mutator thread itself; remote threads communicate
+/// exclusively through `ThreadControl` and object state words.
+///
+/// Debug builds verify the contract by recording the first accessor's
+/// `std::thread::ThreadId` and asserting on every subsequent access.
+pub struct OwnedByThread<T> {
+    inner: UnsafeCell<T>,
+    #[cfg(debug_assertions)]
+    owner: parking_lot::Mutex<Option<std::thread::ThreadId>>,
+}
+
+// SAFETY: access is confined to one thread per the contract above; `T: Send`
+// makes moving the value's ownership to that thread sound.
+unsafe impl<T: Send> Sync for OwnedByThread<T> {}
+
+impl<T> OwnedByThread<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        OwnedByThread {
+            inner: UnsafeCell::new(value),
+            #[cfg(debug_assertions)]
+            owner: parking_lot::Mutex::new(None),
+        }
+    }
+
+    /// Access the value.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the owning mutator thread (see the type-level
+    /// contract). The returned reference must not outlive the current
+    /// mutator operation (callers never store it).
+    #[allow(clippy::mut_from_ref)]
+    #[inline(always)]
+    pub unsafe fn get(&self) -> &mut T {
+        #[cfg(debug_assertions)]
+        {
+            let me = std::thread::current().id();
+            let mut owner = self.owner.lock();
+            match *owner {
+                None => *owner = Some(me),
+                Some(o) => assert_eq!(
+                    o, me,
+                    "OwnedByThread accessed from a foreign thread — engine bug"
+                ),
+            }
+        }
+        // SAFETY: forwarded to the caller's obligation.
+        unsafe { &mut *self.inner.get() }
+    }
+
+    /// Reset the debug-mode owner (used when a slot is re-used by a new
+    /// mutator in a subsequent run on the same engine).
+    pub fn reset_owner(&self) {
+        #[cfg(debug_assertions)]
+        {
+            *self.owner.lock() = None;
+        }
+    }
+}
+
+/// The thread-private state of one mutator under any tracking engine.
+pub struct ThreadState {
+    /// This mutator's id.
+    pub tid: ThreadId,
+    /// Octet's `T.rdShCount`: the largest RdSh counter value this thread has
+    /// fenced against.
+    pub rd_sh_count: u64,
+    /// Pessimistic objects whose states this thread currently holds locked.
+    pub lock_buffer: Vec<ObjId>,
+    /// Objects this thread has read-locked (`T.rdSet`), for reentrancy.
+    pub rd_set: HashSet<u32>,
+    /// Deterministic position counter: incremented once per program
+    /// operation (access or synchronization op). Recorders pin happens-before
+    /// sources and sinks to these positions.
+    pub op_index: u64,
+    /// Scratch buffer for happens-before sources, reused across transitions
+    /// to keep the hot path allocation-free.
+    pub src_scratch: Vec<(ThreadId, u64)>,
+    /// This thread's event counters, merged into the runtime's global stats
+    /// when the mutator detaches.
+    pub stats: LocalStats,
+}
+
+impl ThreadState {
+    /// Fresh state for mutator `tid`.
+    pub fn new(tid: ThreadId) -> Self {
+        ThreadState {
+            tid,
+            rd_sh_count: 0,
+            lock_buffer: Vec::with_capacity(64),
+            rd_set: HashSet::with_capacity(64),
+            op_index: 0,
+            src_scratch: Vec::with_capacity(8),
+            stats: LocalStats::new(),
+        }
+    }
+
+    /// True if this thread holds no pessimistic locks (invariant at blocking
+    /// safe points: the buffer is always flushed before blocking).
+    pub fn holds_no_locks(&self) -> bool {
+        self.lock_buffer.is_empty() && self.rd_set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_by_thread_allows_owner_access() {
+        let slot = OwnedByThread::new(5u32);
+        unsafe {
+            *slot.get() += 1;
+            assert_eq!(*slot.get(), 6);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn owned_by_thread_detects_foreign_access() {
+        let slot = std::sync::Arc::new(OwnedByThread::new(0u32));
+        unsafe {
+            slot.get();
+        }
+        let slot2 = slot.clone();
+        let result = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| unsafe {
+                slot2.get();
+            }))
+        })
+        .join()
+        .unwrap();
+        assert!(result.is_err(), "foreign access must panic in debug builds");
+    }
+
+    #[test]
+    fn reset_owner_allows_reattachment() {
+        let slot = std::sync::Arc::new(OwnedByThread::new(0u32));
+        unsafe {
+            slot.get();
+        }
+        slot.reset_owner();
+        let slot2 = slot.clone();
+        std::thread::spawn(move || unsafe {
+            *slot2.get() = 9;
+        })
+        .join()
+        .unwrap();
+        slot.reset_owner();
+        unsafe {
+            assert_eq!(*slot.get(), 9);
+        }
+    }
+
+    #[test]
+    fn fresh_thread_state_holds_no_locks() {
+        let ts = ThreadState::new(ThreadId(3));
+        assert!(ts.holds_no_locks());
+        assert_eq!(ts.rd_sh_count, 0);
+        assert_eq!(ts.op_index, 0);
+    }
+}

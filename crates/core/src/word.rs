@@ -1,0 +1,575 @@
+//! The per-object state word: encoding of every state in the hybrid model.
+//!
+//! §3.2 of the paper defines the state space:
+//!
+//! * **pessimistic unlocked**: `WrExPess(T)`, `RdExPess(T)`, `RdShPess(c)`;
+//! * **pessimistic locked**: `WrExRLock(T)`, `WrExWLock(T)`, `RdExRLock(T)`,
+//!   `RdShRLock(n)(c)` (read-locked by `n` threads);
+//! * **optimistic**: `WrExOpt(T)`, `RdExOpt(T)`, `RdShOpt(c)`;
+//! * plus Octet's intermediate state `Int(T)` used while a thread coordinates
+//!   for an optimistic conflicting transition (§2.2, Figure 1 line 8).
+//!
+//! The paper's IA-32 prototype packs all of this into one 32-bit word, which
+//! costs it the `WrExRLock` state ("Extraneous contention", §7.1). We use a
+//! 64-bit word, so the full model fits; a config flag in the hybrid engine
+//! reproduces the prototype's omission for the ablation study.
+//!
+//! Layout (LSB first):
+//!
+//! ```text
+//! bits  0..=1   kind        0 = WrEx, 1 = RdEx, 2 = RdSh, 3 = Int
+//! bit   2       pessimistic flag
+//! bits  3..=4   lock mode   0 = unlocked, 1 = read-locked, 2 = write-locked
+//! bits  8..=23  owner thread id (WrEx*/RdEx*/Int)
+//! bits 24..=31  read-lock count n (RdSh, pessimistic locked)
+//! bits 32..=63  RdSh counter c (from the global gRdShCount)
+//! ```
+//!
+//! The all-ones word is reserved as the `LOCKED` sentinel used by the
+//! standalone pessimistic engine (§2.1's pseudocode "locks" the state with a
+//! special value); it decodes to no legal state.
+
+use std::fmt;
+
+use drink_runtime::ThreadId;
+
+/// State kind: the four top-level shapes a state word can take.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Kind {
+    /// Write-exclusive: last read or written by the owner.
+    WrEx = 0,
+    /// Read-exclusive: last read (not written) by the owner.
+    RdEx = 1,
+    /// Read-shared: last read by multiple threads; carries counter `c`.
+    RdSh = 2,
+    /// Octet's intermediate state: the owner is mid-coordination.
+    Int = 3,
+}
+
+/// Reader–writer lock mode of a pessimistic state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum LockMode {
+    /// Pessimistic unlocked (or optimistic, which has no lock).
+    Unlocked = 0,
+    /// Read-locked.
+    Read = 1,
+    /// Write-locked.
+    Write = 2,
+}
+
+const KIND_SHIFT: u32 = 0;
+const KIND_MASK: u64 = 0b11;
+const PESS_BIT: u64 = 1 << 2;
+const LOCK_SHIFT: u32 = 3;
+const LOCK_MASK: u64 = 0b11;
+const OWNER_SHIFT: u32 = 8;
+const OWNER_MASK: u64 = 0xFFFF;
+const N_SHIFT: u32 = 24;
+const N_MASK: u64 = 0xFF;
+const C_SHIFT: u32 = 32;
+const C_MASK: u64 = 0xFFFF_FFFF;
+
+/// Maximum representable read-lock count (8-bit field). The hybrid engine
+/// asserts thread counts stay below this.
+pub const MAX_READ_LOCKS: u64 = N_MASK;
+
+/// Maximum representable RdSh counter value (32-bit field).
+pub const MAX_RDSH_COUNT: u64 = C_MASK;
+
+/// A decoded-on-demand view of the per-object state word.
+///
+/// ```
+/// use drink_core::word::{StateWord, Kind, LockMode};
+/// use drink_runtime::ThreadId;
+///
+/// let t = ThreadId(3);
+/// let w = StateWord::rd_sh_pess(42, 2); // RdShRLock(2) at epoch 42
+/// assert_eq!(w.kind(), Kind::RdSh);
+/// assert!(w.is_pess_locked());
+/// assert_eq!(w.read_locks(), 2);
+///
+/// // One holder flushes; the last unlock may transfer to optimistic states.
+/// let after_one = w.unlock_one();
+/// assert_eq!(after_one.read_locks(), 1);
+/// let unlocked = after_one.unlock_one();
+/// assert!(unlocked.is_pess_unlocked());
+/// assert_eq!(unlocked.to_optimistic().is_pess(), false);
+///
+/// // Exclusive states carry their owner.
+/// assert_eq!(StateWord::wr_ex_pess(t, LockMode::Write).owner(), t);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateWord(pub u64);
+
+impl StateWord {
+    /// The standalone pessimistic engine's `LOCKED` sentinel (§2.1).
+    pub const LOCKED: StateWord = StateWord(u64::MAX);
+
+    // --- Constructors ---
+
+    /// `WrExOpt(T)`.
+    #[inline(always)]
+    pub fn wr_ex_opt(t: ThreadId) -> Self {
+        StateWord((Kind::WrEx as u64) | ((t.raw() as u64) << OWNER_SHIFT))
+    }
+
+    /// `RdExOpt(T)`.
+    #[inline(always)]
+    pub fn rd_ex_opt(t: ThreadId) -> Self {
+        StateWord((Kind::RdEx as u64) | ((t.raw() as u64) << OWNER_SHIFT))
+    }
+
+    /// `RdShOpt(c)`.
+    #[inline(always)]
+    pub fn rd_sh_opt(c: u64) -> Self {
+        debug_assert!(c <= MAX_RDSH_COUNT, "gRdShCount overflow");
+        StateWord((Kind::RdSh as u64) | (c << C_SHIFT))
+    }
+
+    /// `Int(T)`: the coordination-in-progress intermediate state.
+    #[inline(always)]
+    pub fn int(t: ThreadId) -> Self {
+        StateWord((Kind::Int as u64) | ((t.raw() as u64) << OWNER_SHIFT))
+    }
+
+    /// `WrExPess(T)` with the given lock mode (`Unlocked`, `RLock`, `WLock`).
+    #[inline(always)]
+    pub fn wr_ex_pess(t: ThreadId, lock: LockMode) -> Self {
+        StateWord(
+            (Kind::WrEx as u64)
+                | PESS_BIT
+                | ((lock as u64) << LOCK_SHIFT)
+                | ((t.raw() as u64) << OWNER_SHIFT),
+        )
+    }
+
+    /// `RdExPess(T)`: unlocked or read-locked (a write-locked read-exclusive
+    /// state does not exist — writes upgrade to WrEx).
+    #[inline(always)]
+    pub fn rd_ex_pess(t: ThreadId, lock: LockMode) -> Self {
+        debug_assert!(lock != LockMode::Write, "RdEx cannot be write-locked");
+        StateWord(
+            (Kind::RdEx as u64)
+                | PESS_BIT
+                | ((lock as u64) << LOCK_SHIFT)
+                | ((t.raw() as u64) << OWNER_SHIFT),
+        )
+    }
+
+    /// `RdShPess(c)` (if `n == 0`) or `RdShRLock(n)(c)` (if `n > 0`).
+    #[inline(always)]
+    pub fn rd_sh_pess(c: u64, n: u64) -> Self {
+        debug_assert!(c <= MAX_RDSH_COUNT, "gRdShCount overflow");
+        debug_assert!(n <= MAX_READ_LOCKS, "read-lock count overflow");
+        let lock = if n > 0 { LockMode::Read } else { LockMode::Unlocked };
+        StateWord(
+            (Kind::RdSh as u64)
+                | PESS_BIT
+                | ((lock as u64) << LOCK_SHIFT)
+                | (n << N_SHIFT)
+                | (c << C_SHIFT),
+        )
+    }
+
+    // --- Accessors ---
+
+    /// State kind. The LOCKED sentinel decodes as `Int` but callers must
+    /// check [`StateWord::is_locked_sentinel`] first in the engines that use it.
+    #[inline(always)]
+    pub fn kind(self) -> Kind {
+        match (self.0 >> KIND_SHIFT) & KIND_MASK {
+            0 => Kind::WrEx,
+            1 => Kind::RdEx,
+            2 => Kind::RdSh,
+            _ => Kind::Int,
+        }
+    }
+
+    /// Is this a pessimistic state?
+    #[inline(always)]
+    pub fn is_pess(self) -> bool {
+        self.0 & PESS_BIT != 0
+    }
+
+    /// Reader–writer lock mode (always `Unlocked` for optimistic states).
+    #[inline(always)]
+    pub fn lock_mode(self) -> LockMode {
+        match (self.0 >> LOCK_SHIFT) & LOCK_MASK {
+            0 => LockMode::Unlocked,
+            1 => LockMode::Read,
+            _ => LockMode::Write,
+        }
+    }
+
+    /// Owner thread (meaningful for WrEx*/RdEx*/Int).
+    #[inline(always)]
+    pub fn owner(self) -> ThreadId {
+        ThreadId::from_raw(((self.0 >> OWNER_SHIFT) & OWNER_MASK) as u16)
+    }
+
+    /// Read-lock count `n` (meaningful for pessimistic RdSh).
+    #[inline(always)]
+    pub fn read_locks(self) -> u64 {
+        (self.0 >> N_SHIFT) & N_MASK
+    }
+
+    /// RdSh counter `c` (meaningful for RdSh states).
+    #[inline(always)]
+    pub fn rdsh_count(self) -> u64 {
+        (self.0 >> C_SHIFT) & C_MASK
+    }
+
+    /// Is this the standalone pessimistic engine's LOCKED sentinel?
+    #[inline(always)]
+    pub fn is_locked_sentinel(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Is this an Int (coordination-intermediate) state? (Excludes the
+    /// LOCKED sentinel.)
+    #[inline(always)]
+    pub fn is_int(self) -> bool {
+        self.kind() == Kind::Int && !self.is_locked_sentinel()
+    }
+
+    /// Is this a pessimistic state currently locked (read or write)?
+    #[inline(always)]
+    pub fn is_pess_locked(self) -> bool {
+        self.is_pess() && self.lock_mode() != LockMode::Unlocked
+    }
+
+    /// Is this a pessimistic state currently unlocked?
+    #[inline(always)]
+    pub fn is_pess_unlocked(self) -> bool {
+        self.is_pess() && self.lock_mode() == LockMode::Unlocked
+    }
+
+    // --- Derived helpers used by the engines ---
+
+    /// The unlocked pessimistic version of a locked pessimistic state, after
+    /// one holder releases. For `RdShRLock(n)` with `n > 1` this is
+    /// `RdShRLock(n-1)`; otherwise the fully unlocked state.
+    pub fn unlock_one(self) -> StateWord {
+        debug_assert!(self.is_pess_locked());
+        match self.kind() {
+            Kind::WrEx => StateWord::wr_ex_pess(self.owner(), LockMode::Unlocked),
+            Kind::RdEx => StateWord::rd_ex_pess(self.owner(), LockMode::Unlocked),
+            Kind::RdSh => {
+                let n = self.read_locks();
+                debug_assert!(n >= 1);
+                StateWord::rd_sh_pess(self.rdsh_count(), n - 1)
+            }
+            Kind::Int => unreachable!("Int states are never pessimistic-locked"),
+        }
+    }
+
+    /// The optimistic counterpart of a pessimistic state (same last-access
+    /// information, used when the adaptive policy moves an object back to
+    /// optimistic states at unlock time).
+    pub fn to_optimistic(self) -> StateWord {
+        debug_assert!(self.is_pess());
+        match self.kind() {
+            Kind::WrEx => StateWord::wr_ex_opt(self.owner()),
+            Kind::RdEx => StateWord::rd_ex_opt(self.owner()),
+            Kind::RdSh => StateWord::rd_sh_opt(self.rdsh_count()),
+            Kind::Int => unreachable!("Int states are never pessimistic"),
+        }
+    }
+
+    /// The pessimistic-unlocked counterpart of an optimistic state.
+    pub fn to_pess_unlocked(self) -> StateWord {
+        debug_assert!(!self.is_pess() && !self.is_int());
+        match self.kind() {
+            Kind::WrEx => StateWord::wr_ex_pess(self.owner(), LockMode::Unlocked),
+            Kind::RdEx => StateWord::rd_ex_pess(self.owner(), LockMode::Unlocked),
+            Kind::RdSh => StateWord::rd_sh_pess(self.rdsh_count(), 0),
+            Kind::Int => unreachable!(),
+        }
+    }
+}
+
+impl fmt::Debug for StateWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_locked_sentinel() {
+            return write!(f, "LOCKED");
+        }
+        let pess = if self.is_pess() { "Pess" } else { "Opt" };
+        let lock = match self.lock_mode() {
+            LockMode::Unlocked => "",
+            LockMode::Read => ",RLock",
+            LockMode::Write => ",WLock",
+        };
+        match self.kind() {
+            Kind::WrEx => write!(f, "WrEx{pess}[{}{lock}]", self.owner()),
+            Kind::RdEx => write!(f, "RdEx{pess}[{}{lock}]", self.owner()),
+            Kind::RdSh => {
+                if self.is_pess() && self.read_locks() > 0 {
+                    write!(
+                        f,
+                        "RdShRLock({})[c={}]",
+                        self.read_locks(),
+                        self.rdsh_count()
+                    )
+                } else {
+                    write!(f, "RdSh{pess}[c={}]", self.rdsh_count())
+                }
+            }
+            Kind::Int => write!(f, "Int[{}]", self.owner()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u16) -> ThreadId {
+        ThreadId(n)
+    }
+
+    #[test]
+    fn zero_word_is_wrex_opt_thread_zero() {
+        let w = StateWord(0);
+        assert_eq!(w.kind(), Kind::WrEx);
+        assert!(!w.is_pess());
+        assert_eq!(w.lock_mode(), LockMode::Unlocked);
+        assert_eq!(w.owner(), t(0));
+        assert_eq!(w, StateWord::wr_ex_opt(t(0)));
+    }
+
+    #[test]
+    fn optimistic_constructors_roundtrip() {
+        for tid in [0u16, 1, 42, u16::MAX] {
+            let w = StateWord::wr_ex_opt(t(tid));
+            assert_eq!((w.kind(), w.is_pess(), w.owner()), (Kind::WrEx, false, t(tid)));
+            let r = StateWord::rd_ex_opt(t(tid));
+            assert_eq!((r.kind(), r.is_pess(), r.owner()), (Kind::RdEx, false, t(tid)));
+        }
+        for c in [1u64, 7, MAX_RDSH_COUNT] {
+            let s = StateWord::rd_sh_opt(c);
+            assert_eq!((s.kind(), s.is_pess(), s.rdsh_count()), (Kind::RdSh, false, c));
+        }
+    }
+
+    #[test]
+    fn pessimistic_constructors_roundtrip() {
+        let w = StateWord::wr_ex_pess(t(3), LockMode::Write);
+        assert!(w.is_pess() && w.is_pess_locked());
+        assert_eq!(w.lock_mode(), LockMode::Write);
+        assert_eq!(w.owner(), t(3));
+
+        let r = StateWord::rd_ex_pess(t(5), LockMode::Read);
+        assert!(r.is_pess_locked());
+        assert_eq!(r.lock_mode(), LockMode::Read);
+
+        let u = StateWord::rd_ex_pess(t(5), LockMode::Unlocked);
+        assert!(u.is_pess_unlocked());
+
+        let s = StateWord::rd_sh_pess(9, 2);
+        assert_eq!(s.read_locks(), 2);
+        assert_eq!(s.rdsh_count(), 9);
+        assert!(s.is_pess_locked());
+        let s0 = StateWord::rd_sh_pess(9, 0);
+        assert!(s0.is_pess_unlocked());
+    }
+
+    #[test]
+    fn int_state_and_locked_sentinel_are_distinct() {
+        let i = StateWord::int(t(2));
+        assert!(i.is_int());
+        assert!(!i.is_locked_sentinel());
+        assert_eq!(i.owner(), t(2));
+        assert!(StateWord::LOCKED.is_locked_sentinel());
+        assert!(!StateWord::LOCKED.is_int());
+    }
+
+    #[test]
+    fn unlock_one_steps_through_rdsh_counts() {
+        let s2 = StateWord::rd_sh_pess(4, 2);
+        let s1 = s2.unlock_one();
+        assert_eq!(s1, StateWord::rd_sh_pess(4, 1));
+        let s0 = s1.unlock_one();
+        assert_eq!(s0, StateWord::rd_sh_pess(4, 0));
+        assert!(s0.is_pess_unlocked());
+    }
+
+    #[test]
+    fn unlock_one_on_exclusive_states() {
+        let w = StateWord::wr_ex_pess(t(1), LockMode::Write);
+        assert_eq!(w.unlock_one(), StateWord::wr_ex_pess(t(1), LockMode::Unlocked));
+        let wr = StateWord::wr_ex_pess(t(1), LockMode::Read);
+        assert_eq!(wr.unlock_one(), StateWord::wr_ex_pess(t(1), LockMode::Unlocked));
+        let r = StateWord::rd_ex_pess(t(1), LockMode::Read);
+        assert_eq!(r.unlock_one(), StateWord::rd_ex_pess(t(1), LockMode::Unlocked));
+    }
+
+    #[test]
+    fn pess_opt_conversions_preserve_last_access_info() {
+        let w = StateWord::wr_ex_pess(t(7), LockMode::Unlocked);
+        assert_eq!(w.to_optimistic(), StateWord::wr_ex_opt(t(7)));
+        assert_eq!(StateWord::wr_ex_opt(t(7)).to_pess_unlocked(), w);
+
+        let s = StateWord::rd_sh_pess(11, 0);
+        assert_eq!(s.to_optimistic(), StateWord::rd_sh_opt(11));
+        assert_eq!(StateWord::rd_sh_opt(11).to_pess_unlocked(), s);
+
+        let r = StateWord::rd_ex_pess(t(2), LockMode::Unlocked);
+        assert_eq!(r.to_optimistic(), StateWord::rd_ex_opt(t(2)));
+        assert_eq!(StateWord::rd_ex_opt(t(2)).to_pess_unlocked(), r);
+    }
+
+    #[test]
+    fn debug_formatting_names_states() {
+        assert_eq!(format!("{:?}", StateWord::wr_ex_opt(t(1))), "WrExOpt[T1]");
+        assert_eq!(
+            format!("{:?}", StateWord::wr_ex_pess(t(2), LockMode::Write)),
+            "WrExPess[T2,WLock]"
+        );
+        assert_eq!(format!("{:?}", StateWord::rd_sh_pess(3, 2)), "RdShRLock(2)[c=3]");
+        assert_eq!(format!("{:?}", StateWord::rd_sh_opt(5)), "RdShOpt[c=5]");
+        assert_eq!(format!("{:?}", StateWord::LOCKED), "LOCKED");
+        assert_eq!(format!("{:?}", StateWord::int(t(9))), "Int[T9]");
+    }
+
+    #[test]
+    fn fields_do_not_interfere() {
+        // Set every field to its max and read each back.
+        let w = StateWord::rd_sh_pess(MAX_RDSH_COUNT, MAX_READ_LOCKS);
+        assert_eq!(w.kind(), Kind::RdSh);
+        assert!(w.is_pess());
+        assert_eq!(w.read_locks(), MAX_READ_LOCKS);
+        assert_eq!(w.rdsh_count(), MAX_RDSH_COUNT);
+
+        let x = StateWord::wr_ex_pess(t(u16::MAX), LockMode::Write);
+        assert_eq!(x.owner(), t(u16::MAX));
+        assert_eq!(x.read_locks(), 0);
+        assert_eq!(x.rdsh_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_tid() -> impl Strategy<Value = ThreadId> {
+        any::<u16>().prop_map(ThreadId)
+    }
+
+    proptest! {
+        /// Every constructor's fields read back exactly.
+        #[test]
+        fn encode_decode_roundtrip_exclusive(tid in arb_tid(), write in any::<bool>(), pess in any::<bool>(), rlock in any::<bool>()) {
+            let w = match (write, pess, rlock) {
+                (true, false, _) => StateWord::wr_ex_opt(tid),
+                (false, false, _) => StateWord::rd_ex_opt(tid),
+                (true, true, true) => StateWord::wr_ex_pess(tid, LockMode::Read),
+                (true, true, false) => StateWord::wr_ex_pess(tid, LockMode::Write),
+                (false, true, true) => StateWord::rd_ex_pess(tid, LockMode::Read),
+                (false, true, false) => StateWord::rd_ex_pess(tid, LockMode::Unlocked),
+            };
+            prop_assert_eq!(w.owner(), tid);
+            prop_assert_eq!(w.is_pess(), pess);
+            prop_assert_eq!(w.kind(), if write { Kind::WrEx } else { Kind::RdEx });
+            prop_assert!(!w.is_locked_sentinel());
+            prop_assert!(!w.is_int());
+        }
+
+        #[test]
+        fn encode_decode_roundtrip_rdsh(c in 0u64..=MAX_RDSH_COUNT, n in 0u64..=MAX_READ_LOCKS) {
+            let pess = StateWord::rd_sh_pess(c, n);
+            prop_assert_eq!(pess.kind(), Kind::RdSh);
+            prop_assert!(pess.is_pess());
+            prop_assert_eq!(pess.rdsh_count(), c);
+            prop_assert_eq!(pess.read_locks(), n);
+            prop_assert_eq!(pess.is_pess_locked(), n > 0);
+
+            let opt = StateWord::rd_sh_opt(c);
+            prop_assert_eq!(opt.kind(), Kind::RdSh);
+            prop_assert!(!opt.is_pess());
+            prop_assert_eq!(opt.rdsh_count(), c);
+        }
+
+        /// Unlocking a locked state n times fully releases it, and each step
+        /// is still a legal pessimistic state.
+        #[test]
+        fn unlock_chain_terminates(c in 0u64..=MAX_RDSH_COUNT, n in 1u64..=MAX_READ_LOCKS) {
+            let mut w = StateWord::rd_sh_pess(c, n);
+            for step in 0..n {
+                prop_assert!(w.is_pess_locked(), "still locked at step {step}");
+                w = w.unlock_one();
+                prop_assert_eq!(w.rdsh_count(), c);
+            }
+            prop_assert!(w.is_pess_unlocked());
+            prop_assert_eq!(w.read_locks(), 0);
+        }
+
+        /// Pess ↔ opt conversions are mutually inverse on unlocked states and
+        /// preserve the last-access information.
+        #[test]
+        fn pess_opt_conversion_inverse(tid in arb_tid(), c in 0u64..=MAX_RDSH_COUNT, sel in 0u8..3) {
+            let pess = match sel {
+                0 => StateWord::wr_ex_pess(tid, LockMode::Unlocked),
+                1 => StateWord::rd_ex_pess(tid, LockMode::Unlocked),
+                _ => StateWord::rd_sh_pess(c, 0),
+            };
+            let opt = pess.to_optimistic();
+            prop_assert!(!opt.is_pess());
+            prop_assert_eq!(opt.kind(), pess.kind());
+            prop_assert_eq!(opt.to_pess_unlocked(), pess);
+            if sel < 2 {
+                prop_assert_eq!(opt.owner(), tid);
+            } else {
+                prop_assert_eq!(opt.rdsh_count(), c);
+            }
+        }
+
+        /// No constructed state ever collides with the LOCKED sentinel or an
+        /// Int state.
+        #[test]
+        fn constructors_never_collide_with_sentinels(tid in arb_tid(), c in 0u64..=MAX_RDSH_COUNT, n in 0u64..=MAX_READ_LOCKS) {
+            for w in [
+                StateWord::wr_ex_opt(tid),
+                StateWord::rd_ex_opt(tid),
+                StateWord::rd_sh_opt(c),
+                StateWord::wr_ex_pess(tid, LockMode::Write),
+                StateWord::wr_ex_pess(tid, LockMode::Read),
+                StateWord::wr_ex_pess(tid, LockMode::Unlocked),
+                StateWord::rd_ex_pess(tid, LockMode::Read),
+                StateWord::rd_ex_pess(tid, LockMode::Unlocked),
+                StateWord::rd_sh_pess(c, n),
+            ] {
+                prop_assert!(!w.is_locked_sentinel(), "{w:?}");
+                prop_assert!(!w.is_int(), "{w:?}");
+            }
+            prop_assert!(StateWord::int(tid).is_int());
+        }
+
+        /// Distinct logical states encode to distinct words.
+        #[test]
+        fn distinct_states_distinct_words(t1 in arb_tid(), t2 in arb_tid()) {
+            let words = [
+                StateWord::wr_ex_opt(t1),
+                StateWord::rd_ex_opt(t1),
+                StateWord::wr_ex_pess(t1, LockMode::Write),
+                StateWord::wr_ex_pess(t1, LockMode::Read),
+                StateWord::wr_ex_pess(t1, LockMode::Unlocked),
+                StateWord::rd_ex_pess(t1, LockMode::Read),
+                StateWord::rd_ex_pess(t1, LockMode::Unlocked),
+                StateWord::int(t1),
+            ];
+            for (i, a) in words.iter().enumerate() {
+                for (j, b) in words.iter().enumerate() {
+                    if i != j {
+                        prop_assert_ne!(a.0, b.0);
+                    }
+                }
+            }
+            if t1 != t2 {
+                prop_assert_ne!(StateWord::wr_ex_opt(t1).0, StateWord::wr_ex_opt(t2).0);
+            }
+        }
+    }
+}

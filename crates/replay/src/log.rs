@@ -1,0 +1,253 @@
+//! The recording log: a two-sided, per-thread happens-before schedule.
+//!
+//! The recorder (§4) reduces an execution's cross-thread dependences to a
+//! set of **edges** `(source thread, clock value) → (sink thread, op)`. The
+//! log stores the two sides separately:
+//!
+//! * **source entries** `(op, bumps)`, in two streams with different replay
+//!   semantics:
+//!   - **pre-wait bumps** (`sources_pre`) happened at *yield points*: PSROs,
+//!     responding safe points, blocking safe points. A thread performs these
+//!     while (or before) it waits, so during replay they are applied before
+//!     the operation's own sink waits — two threads that coordinated with
+//!     each other mid-operation would otherwise deadlock;
+//!   - **post-wait bumps** (`sources_post`) happened at *recorded
+//!     transitions* (side-table and RdSh-epoch deposits): the transition
+//!     completed only after its own happens-before sources, so its bump must
+//!     not become visible until the operation's sink waits are satisfied —
+//!     otherwise a third thread could ride the transition's edge past the
+//!     dependences it transitively stands for.
+//!
+//!   Within one operation a thread's yield bumps always precede its
+//!   transition bump (responses happen while coordinating, the transition
+//!   completes after), so replaying pre-then-waits-then-post preserves each
+//!   thread's recorded bump order and hence the meaning of waited values.
+//!   All pins are at-or-before the operation that was executing, satisfying
+//!   the paper's "no later than T1's current execution point" requirement
+//!   (Figure 4(a));
+//!
+//! * **sink entries** `(op, [(source thread, clock), ...])`: before executing
+//!   `op` (after pre-wait bumps), the thread waits until each named source
+//!   thread's replay clock reaches the recorded value.
+
+use drink_runtime::ThreadId;
+use serde::{Deserialize, Serialize};
+
+/// One sink record: waits to perform before executing `op`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SinkEntry {
+    /// The operation index this wait guards.
+    pub op: u64,
+    /// `(source thread, clock value)` pairs to wait for.
+    pub waits: Vec<(ThreadId, u64)>,
+}
+
+/// One thread's log.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadLog {
+    /// Yield-point clock bumps (applied before the op's waits),
+    /// nondecreasing in `op`.
+    pub sources_pre: Vec<(u64, u32)>,
+    /// Transition clock bumps (applied after the op's waits),
+    /// nondecreasing in `op`.
+    pub sources_post: Vec<(u64, u32)>,
+    /// Waits pinned to operation indices, nondecreasing in `op`.
+    pub sinks: Vec<SinkEntry>,
+}
+
+fn push_into(stream: &mut Vec<(u64, u32)>, op: u64) {
+    if let Some(last) = stream.last_mut() {
+        debug_assert!(last.0 <= op, "source pins must be nondecreasing");
+        if last.0 == op {
+            last.1 += 1;
+            return;
+        }
+    }
+    stream.push((op, 1));
+}
+
+impl ThreadLog {
+    /// Record one yield-point bump at `op`.
+    pub fn push_bump(&mut self, op: u64) {
+        push_into(&mut self.sources_pre, op);
+    }
+
+    /// Record one transition bump at `op`.
+    pub fn push_transition_bump(&mut self, op: u64) {
+        push_into(&mut self.sources_post, op);
+    }
+
+    /// Record a wait for `(src, clock)` before `op` (coalescing per op).
+    pub fn push_wait(&mut self, op: u64, src: ThreadId, clock: u64) {
+        if let Some(last) = self.sinks.last_mut() {
+            debug_assert!(last.op <= op, "sink pins must be nondecreasing");
+            if last.op == op {
+                // Keep only the strongest wait per (op, src).
+                if let Some(w) = last.waits.iter_mut().find(|(t, _)| *t == src) {
+                    w.1 = w.1.max(clock);
+                } else {
+                    last.waits.push((src, clock));
+                }
+                return;
+            }
+        }
+        self.sinks.push(SinkEntry {
+            op,
+            waits: vec![(src, clock)],
+        });
+    }
+
+    /// Total bumps recorded (the thread's final replay-clock value).
+    pub fn total_bumps(&self) -> u64 {
+        self.sources_pre
+            .iter()
+            .chain(self.sources_post.iter())
+            .map(|&(_, n)| n as u64)
+            .sum()
+    }
+
+    /// Total individual waits recorded.
+    pub fn total_waits(&self) -> usize {
+        self.sinks.iter().map(|s| s.waits.len()).sum()
+    }
+}
+
+/// A complete recording: one [`ThreadLog`] per mutator, plus run metadata.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordingLog {
+    /// Per-thread logs, indexed by `ThreadId`.
+    pub threads: Vec<ThreadLog>,
+    /// Name of the recorder configuration that produced this log
+    /// ("optimistic" or "hybrid").
+    pub recorder: String,
+}
+
+impl RecordingLog {
+    /// A log for `n` threads.
+    pub fn with_threads(n: usize, recorder: &str) -> Self {
+        RecordingLog {
+            threads: (0..n).map(|_| ThreadLog::default()).collect(),
+            recorder: recorder.to_string(),
+        }
+    }
+
+    /// Total happens-before edges (waits) across all threads — the paper's
+    /// "number of recorded dependences".
+    pub fn total_edges(&self) -> usize {
+        self.threads.iter().map(|t| t.total_waits()).sum()
+    }
+
+    /// Validate structural invariants: monotone pins, wait targets in range,
+    /// and every waited-for clock value ≤ the source thread's total bumps
+    /// (otherwise replay would hang). Returns a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let totals: Vec<u64> = self.threads.iter().map(|t| t.total_bumps()).collect();
+        for (tid, tl) in self.threads.iter().enumerate() {
+            for stream in [&tl.sources_pre, &tl.sources_post] {
+                let mut prev = 0;
+                for &(op, n) in stream {
+                    if op < prev {
+                        return Err(format!("T{tid}: source pins regress at op {op}"));
+                    }
+                    if n == 0 {
+                        return Err(format!("T{tid}: zero-bump source entry at op {op}"));
+                    }
+                    prev = op;
+                }
+            }
+            let mut prev = 0;
+            for s in &tl.sinks {
+                if s.op < prev {
+                    return Err(format!("T{tid}: sink pins regress at op {}", s.op));
+                }
+                prev = s.op;
+                for &(src, clock) in &s.waits {
+                    if src.index() >= self.threads.len() {
+                        return Err(format!("T{tid}: wait on unknown thread {src}"));
+                    }
+                    if src.index() == tid {
+                        return Err(format!("T{tid}: self-wait at op {}", s.op));
+                    }
+                    if clock > totals[src.index()] {
+                        return Err(format!(
+                            "T{tid}: waits for {src} clock {clock} but {src} only bumps {} times",
+                            totals[src.index()]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bumps_coalesce_per_op() {
+        let mut tl = ThreadLog::default();
+        tl.push_bump(3);
+        tl.push_bump(3);
+        tl.push_bump(5);
+        tl.push_transition_bump(5);
+        assert_eq!(tl.sources_pre, vec![(3, 2), (5, 1)]);
+        assert_eq!(tl.sources_post, vec![(5, 1)]);
+        assert_eq!(tl.total_bumps(), 4);
+    }
+
+    #[test]
+    fn waits_keep_strongest_per_source() {
+        let mut tl = ThreadLog::default();
+        tl.push_wait(2, ThreadId(1), 5);
+        tl.push_wait(2, ThreadId(1), 3); // weaker: absorbed
+        tl.push_wait(2, ThreadId(2), 1);
+        tl.push_wait(4, ThreadId(1), 6);
+        assert_eq!(tl.sinks.len(), 2);
+        assert_eq!(tl.sinks[0].waits, vec![(ThreadId(1), 5), (ThreadId(2), 1)]);
+        assert_eq!(tl.total_waits(), 3);
+    }
+
+    #[test]
+    fn validate_accepts_wellformed_log() {
+        let mut log = RecordingLog::with_threads(2, "hybrid");
+        log.threads[0].push_bump(1);
+        log.threads[1].push_wait(0, ThreadId(0), 1);
+        assert_eq!(log.validate(), Ok(()));
+        assert_eq!(log.total_edges(), 1);
+    }
+
+    #[test]
+    fn validate_rejects_unsatisfiable_wait() {
+        let mut log = RecordingLog::with_threads(2, "opt");
+        log.threads[1].push_wait(0, ThreadId(0), 1); // T0 never bumps
+        assert!(log.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_self_wait_and_bad_target() {
+        let mut log = RecordingLog::with_threads(2, "opt");
+        log.threads[0].push_bump(0);
+        log.threads[0].push_wait(1, ThreadId(0), 1);
+        assert!(log.validate().unwrap_err().contains("self-wait"));
+
+        let mut log = RecordingLog::with_threads(1, "opt");
+        log.threads[0].sinks.push(SinkEntry {
+            op: 0,
+            waits: vec![(ThreadId(9), 1)],
+        });
+        assert!(log.validate().unwrap_err().contains("unknown thread"));
+    }
+
+    #[test]
+    fn log_roundtrips_through_serde() {
+        let mut log = RecordingLog::with_threads(2, "hybrid");
+        log.threads[0].push_bump(1);
+        log.threads[1].push_wait(3, ThreadId(0), 1);
+        let json = serde_json::to_string(&log).unwrap();
+        let back: RecordingLog = serde_json::from_str(&json).unwrap();
+        assert_eq!(log, back);
+    }
+}

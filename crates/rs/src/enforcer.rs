@@ -1,0 +1,266 @@
+//! The region-serializability enforcer façade (§5).
+//!
+//! [`RsEnforcer`] wraps a tracking engine (optimistic or hybrid, both
+//! carrying [`RsSupport`]) and executes *statically bounded regions*
+//! atomically:
+//!
+//! * every access inside a region acquires (and keeps) ownership of the
+//!   object's state — two-phase locking via the tracking protocol itself;
+//! * the thread responds to coordination only while it is itself waiting
+//!   for a transition; doing so rolls the region back (undo log) and flags a
+//!   restart. Region bodies are written against [`RegionCx`], whose
+//!   operations return `Err(Restart)` once the region is doomed, so the body
+//!   unwinds promptly via `?`;
+//! * the region end is a safe point: pending coordination requests are
+//!   answered there, *after* the region's effects are committed.
+//!
+//! Deferred unlocking (§5.2) is what makes region ends cheap under hybrid
+//! tracking: pessimistic locks are flushed at PSROs and responding safe
+//! points — both region boundaries — so a region end that has nothing to
+//! answer is a single flag check.
+
+use std::sync::Arc;
+
+use drink_core::engine::hybrid::{HybridConfig, HybridEngine};
+use drink_core::engine::optimistic::OptimisticEngine;
+use drink_core::engine::Tracker;
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+
+use crate::support::{RegionTable, RsSupport};
+
+/// Marker error: the current region was rolled back and must restart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Restart;
+
+/// The two enforcer configurations of Figure 9(b).
+pub enum RsEnforcer {
+    /// The optimistic enforcer (§5.1), per prior work.
+    Optimistic(OptimisticEngine<RsSupport>, Arc<RegionTable>),
+    /// The hybrid enforcer (§5.2), the paper's contribution.
+    Hybrid(HybridEngine<RsSupport>, Arc<RegionTable>),
+}
+
+impl RsEnforcer {
+    /// Build the optimistic enforcer over `rt`.
+    pub fn optimistic(rt: Arc<Runtime>) -> Self {
+        let table = RegionTable::new(rt.clone());
+        let engine = OptimisticEngine::with_support(rt, RsSupport::new(table.clone()));
+        RsEnforcer::Optimistic(engine, table)
+    }
+
+    /// Build the hybrid enforcer over `rt` (paper-default policy).
+    pub fn hybrid(rt: Arc<Runtime>) -> Self {
+        RsEnforcer::hybrid_with(rt, HybridConfig::default())
+    }
+
+    /// Build the hybrid enforcer with an explicit hybrid configuration.
+    pub fn hybrid_with(rt: Arc<Runtime>, cfg: HybridConfig) -> Self {
+        let table = RegionTable::new(rt.clone());
+        let engine = HybridEngine::with_config(rt, RsSupport::new(table.clone()), cfg);
+        RsEnforcer::Hybrid(engine, table)
+    }
+
+    fn table(&self) -> &Arc<RegionTable> {
+        match self {
+            RsEnforcer::Optimistic(_, t) | RsEnforcer::Hybrid(_, t) => t,
+        }
+    }
+
+    /// Execute `body` as an atomic region on mutator `t`, retrying on
+    /// rollback. The body reads and writes shared objects only through the
+    /// provided [`RegionCx`] and must propagate `Restart` errors with `?`.
+    ///
+    /// Region bodies must be *pure* apart from their tracked accesses: they
+    /// may run several times.
+    pub fn region<R>(
+        &self,
+        t: ThreadId,
+        mut body: impl FnMut(&RegionCx<'_>) -> Result<R, Restart>,
+    ) -> R {
+        let mut attempts = 0u32;
+        loop {
+            {
+                // SAFETY: region() is called from the attached mutator
+                // thread; the borrow is scoped so it never overlaps the
+                // body's own slot accesses.
+                let slot = unsafe { self.table().slot(t) };
+                slot.in_region = true;
+                slot.must_restart = false;
+                slot.undo.clear();
+                slot.accessed.clear();
+            }
+            self.bump(t, Event::RegionExec);
+
+            let cx = RegionCx { enforcer: self, t };
+            let result = body(&cx);
+
+            let doomed = {
+                // SAFETY: as above.
+                let slot = unsafe { self.table().slot(t) };
+                let doomed = slot.must_restart;
+                slot.in_region = false;
+                if !doomed {
+                    slot.undo.clear();
+                }
+                doomed
+            };
+            match result {
+                Ok(r) if !doomed => {
+                    // Region end: a safe point. Answer requests that queued up
+                    // while the region held ownership.
+                    self.safepoint(t);
+                    return r;
+                }
+                _ => {
+                    // Rolled back (or body observed Restart): try again. The
+                    // undo log was already applied at the yield.
+                    debug_assert!(doomed, "body returned Err without a rollback");
+                    self.bump(t, Event::RegionRestart);
+                    self.safepoint(t);
+                    // Contention management: back off so the threads that
+                    // restarted us can commit before we re-acquire.
+                    attempts += 1;
+                    for _ in 0..attempts.min(16) {
+                        self.safepoint(t);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    fn bump(&self, t: ThreadId, e: Event) {
+        // Reuse the engine's per-thread stats.
+        match self {
+            // SAFETY: acting thread.
+            RsEnforcer::Optimistic(eng, _) => unsafe { eng.common().ts(t) }.stats.bump(e),
+            RsEnforcer::Hybrid(eng, _) => unsafe { eng.common().ts(t) }.stats.bump(e),
+        }
+    }
+}
+
+/// Accessor handle passed to region bodies.
+pub struct RegionCx<'a> {
+    enforcer: &'a RsEnforcer,
+    t: ThreadId,
+}
+
+impl RegionCx<'_> {
+    /// Tracked read within the region.
+    pub fn read(&self, o: ObjId) -> Result<u64, Restart> {
+        // SAFETY: acting thread.
+        let slot = unsafe { self.enforcer.table().slot(self.t) };
+        if slot.must_restart {
+            return Err(Restart);
+        }
+        let v = match self.enforcer {
+            RsEnforcer::Optimistic(e, _) => e.read(self.t, o),
+            RsEnforcer::Hybrid(e, _) => e.read(self.t, o),
+        };
+        // The read may have yielded (and rolled back) while acquiring
+        // ownership; its value is then from a doomed schedule.
+        let slot = unsafe { self.enforcer.table().slot(self.t) };
+        if slot.must_restart {
+            return Err(Restart);
+        }
+        if !slot.accessed.contains(&o.0) {
+            slot.accessed.push(o.0);
+        }
+        Ok(v)
+    }
+
+    /// Tracked write within the region (undo-logged).
+    pub fn write(&self, o: ObjId, v: u64) -> Result<(), Restart> {
+        // SAFETY: acting thread.
+        let slot = unsafe { self.enforcer.table().slot(self.t) };
+        if slot.must_restart {
+            return Err(Restart);
+        }
+        let prev = match self.enforcer {
+            RsEnforcer::Optimistic(e, _) => e.try_write(self.t, o, v),
+            RsEnforcer::Hybrid(e, _) => e.try_write(self.t, o, v),
+        };
+        match prev {
+            Some(old) => {
+                let slot = unsafe { self.enforcer.table().slot(self.t) };
+                slot.undo.push((o, old));
+                if !slot.accessed.contains(&o.0) {
+                    slot.accessed.push(o.0);
+                }
+                Ok(())
+            }
+            None => Err(Restart),
+        }
+    }
+}
+
+// Forward the mutator lifecycle + non-region operations so the enforcer can
+// be driven like any engine between regions.
+impl RsEnforcer {
+    /// The runtime.
+    pub fn rt(&self) -> &Arc<Runtime> {
+        match self {
+            RsEnforcer::Optimistic(e, _) => e.rt(),
+            RsEnforcer::Hybrid(e, _) => e.rt(),
+        }
+    }
+
+    /// Configuration name ("opt-rs" / "hybrid-rs").
+    pub fn name(&self) -> &'static str {
+        match self {
+            RsEnforcer::Optimistic(..) => "opt-rs",
+            RsEnforcer::Hybrid(..) => "hybrid-rs",
+        }
+    }
+
+    /// Attach the calling thread.
+    pub fn attach(&self) -> ThreadId {
+        let t = match self {
+            RsEnforcer::Optimistic(e, _) => e.attach(),
+            RsEnforcer::Hybrid(e, _) => e.attach(),
+        };
+        self.table().reset_owner(t);
+        t
+    }
+
+    /// Detach (must be outside any region).
+    pub fn detach(&self, t: ThreadId) {
+        debug_assert!(!unsafe { self.table().slot(t) }.in_region);
+        match self {
+            RsEnforcer::Optimistic(e, _) => e.detach(t),
+            RsEnforcer::Hybrid(e, _) => e.detach(t),
+        }
+    }
+
+    /// Safe point poll between regions.
+    pub fn safepoint(&self, t: ThreadId) {
+        match self {
+            RsEnforcer::Optimistic(e, _) => e.safepoint(t),
+            RsEnforcer::Hybrid(e, _) => e.safepoint(t),
+        }
+    }
+
+    /// Program lock acquire (between regions; sync ops bound regions).
+    pub fn lock(&self, t: ThreadId, m: MonitorId) {
+        match self {
+            RsEnforcer::Optimistic(e, _) => e.lock(t, m),
+            RsEnforcer::Hybrid(e, _) => e.lock(t, m),
+        }
+    }
+
+    /// Program lock release.
+    pub fn unlock(&self, t: ThreadId, m: MonitorId) {
+        match self {
+            RsEnforcer::Optimistic(e, _) => e.unlock(t, m),
+            RsEnforcer::Hybrid(e, _) => e.unlock(t, m),
+        }
+    }
+
+    /// Initialize `o` as allocated by `owner`.
+    pub fn alloc_init(&self, o: ObjId, owner: ThreadId) {
+        match self {
+            RsEnforcer::Optimistic(e, _) => e.alloc_init(o, owner),
+            RsEnforcer::Hybrid(e, _) => e.alloc_init(o, owner),
+        }
+    }
+}

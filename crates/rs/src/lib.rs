@@ -1,0 +1,45 @@
+//! # drink-rs: region serializability enforcement on dependence tracking
+//!
+//! The paper's second runtime-support client (§5): enforcing **statically
+//! bounded region serializability (SBRS)** — every region bounded by
+//! synchronization operations, method calls, and loop back edges executes
+//! atomically, *even for programs with data races*.
+//!
+//! Two configurations, as in Figure 9(b):
+//!
+//! * [`RsEnforcer::optimistic`] — the prior-work enforcer on Octet tracking;
+//! * [`RsEnforcer::hybrid`] — the paper's enforcer on hybrid tracking, which
+//!   relies on **deferred unlocking** so region ends don't need conditional
+//!   unlock checks (§5.2): pessimistic states stay locked until a PSRO or
+//!   responding safe point, both of which are region boundaries.
+//!
+//! Serializability comes from two-phase locking of object states with
+//! rollback-on-yield: a thread relinquishes ownership mid-region only when
+//! it must respond to coordination while itself waiting (deadlock freedom),
+//! and `RsSupport::before_yield` undoes the region's writes before the
+//! transfer becomes visible.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use drink_rs::RsEnforcer;
+//! use drink_runtime::{ObjId, Runtime, RuntimeConfig};
+//!
+//! let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 8, 1)));
+//! let enforcer = RsEnforcer::hybrid(rt);
+//! let t = enforcer.attach();
+//! // Atomically move a unit from one counter to another.
+//! enforcer.region(t, |r| {
+//!     let a = r.read(ObjId(0))?;
+//!     r.write(ObjId(0), a.wrapping_sub(1))?;
+//!     let b = r.read(ObjId(1))?;
+//!     r.write(ObjId(1), b + 1)?;
+//!     Ok(())
+//! });
+//! enforcer.detach(t);
+//! ```
+
+pub mod enforcer;
+pub mod support;
+
+pub use enforcer::{RegionCx, Restart, RsEnforcer};
+pub use support::{RegionState, RegionTable, RsSupport};

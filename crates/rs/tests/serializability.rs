@@ -1,0 +1,176 @@
+//! End-to-end serializability tests: invariants that only hold if regions
+//! are atomic, under heavy contention and data races.
+
+use std::sync::Arc;
+use drink_rs::RsEnforcer;
+use drink_runtime::{Event, ObjId, Runtime, RuntimeConfig};
+
+fn rt(threads: usize, objects: usize) -> Arc<Runtime> {
+    Arc::new(Runtime::new(RuntimeConfig::sized(threads, objects, 2)))
+}
+
+/// Each region increments BOTH counters; a checker region must never observe
+/// them unequal. Without region atomicity the racy increments interleave and
+/// the invariant breaks almost immediately.
+fn paired_counters(enforcer: &RsEnforcer, threads: usize, iters: usize) {
+    let oa = ObjId(0);
+    let ob = ObjId(1);
+    std::thread::scope(|s| {
+        for i in 0..threads {
+            let e = &enforcer;
+            s.spawn(move || {
+                let t = e.attach();
+                for _ in 0..iters {
+                    if i % 2 == 0 {
+                        // Writer: keep the pair equal.
+                        e.region(t, |r| {
+                            let a = r.read(oa)?;
+                            r.write(oa, a + 1)?;
+                            let b = r.read(ob)?;
+                            r.write(ob, b + 1)?;
+                            Ok(())
+                        });
+                    } else {
+                        // Checker: the pair must look equal atomically.
+                        let (a, b) = e.region(t, |r| Ok((r.read(oa)?, r.read(ob)?)));
+                        assert_eq!(a, b, "region atomicity violated");
+                    }
+                    e.safepoint(t);
+                }
+                e.detach(t);
+            });
+        }
+    });
+    // Final values equal and equal to the number of writer increments.
+    let a = enforcer.rt().obj(oa).data_read();
+    let b = enforcer.rt().obj(ob).data_read();
+    assert_eq!(a, b);
+    let writers = threads.div_ceil(2);
+    assert_eq!(a, (writers * iters) as u64, "no lost updates");
+}
+
+#[test]
+fn hybrid_enforcer_paired_counters() {
+    let e = RsEnforcer::hybrid(rt(4, 8));
+    paired_counters(&e, 4, 400);
+    let r = e.rt().stats().report();
+    assert!(r.get(Event::RegionExec) >= 1_600);
+}
+
+#[test]
+fn optimistic_enforcer_paired_counters() {
+    let e = RsEnforcer::optimistic(rt(4, 8));
+    paired_counters(&e, 4, 400);
+}
+
+#[test]
+fn restarts_occur_under_contention_and_are_counted() {
+    // Symmetric two-object regions force 2PL deadlocks that resolve by
+    // respond-and-restart; the counters must still be exact.
+    let e = RsEnforcer::hybrid(rt(4, 4));
+    let oa = ObjId(0);
+    let ob = ObjId(1);
+    std::thread::scope(|s| {
+        for i in 0..4 {
+            let e = &e;
+            s.spawn(move || {
+                let t = e.attach();
+                for _ in 0..300 {
+                    // Half the threads lock a-then-b, half b-then-a.
+                    let (first, second) = if i % 2 == 0 { (oa, ob) } else { (ob, oa) };
+                    e.region(t, |r| {
+                        let x = r.read(first)?;
+                        r.write(first, x + 1)?;
+                        let y = r.read(second)?;
+                        r.write(second, y + 1)?;
+                        Ok(())
+                    });
+                    e.safepoint(t);
+                }
+                e.detach(t);
+            });
+        }
+    });
+    assert_eq!(e.rt().obj(oa).data_read(), 1_200);
+    assert_eq!(e.rt().obj(ob).data_read(), 1_200);
+}
+
+#[test]
+fn money_transfer_conserves_total() {
+    // Classic bank-transfer workload over many accounts with cyclic lock
+    // orders: total balance is conserved only under serializability.
+    const ACCOUNTS: usize = 16;
+    const THREADS: usize = 4;
+    const TRANSFERS: usize = 400;
+    for make in [RsEnforcer::hybrid as fn(Arc<Runtime>) -> RsEnforcer, RsEnforcer::optimistic] {
+        let e = make(rt(THREADS, ACCOUNTS));
+        for i in 0..ACCOUNTS {
+            e.rt().obj(ObjId(i as u32)).data_write(1_000);
+        }
+        std::thread::scope(|s| {
+            for seed in 0..THREADS {
+                let e = &e;
+                s.spawn(move || {
+                    let t = e.attach();
+                    let mut x = (seed as u64 + 1) * 0x9E37_79B9;
+                    for _ in 0..TRANSFERS {
+                        x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                        let from = ObjId(((x >> 16) % ACCOUNTS as u64) as u32);
+                        let to = ObjId(((x >> 32) % ACCOUNTS as u64) as u32);
+                        if from == to {
+                            continue;
+                        }
+                        e.region(t, |r| {
+                            let f = r.read(from)?;
+                            let amount = f.min(10);
+                            r.write(from, f - amount)?;
+                            let g = r.read(to)?;
+                            r.write(to, g + amount)?;
+                            Ok(())
+                        });
+                        e.safepoint(t);
+                    }
+                    e.detach(t);
+                });
+            }
+        });
+        let total: u64 = (0..ACCOUNTS)
+            .map(|i| e.rt().obj(ObjId(i as u32)).data_read())
+            .sum();
+        assert_eq!(total, ACCOUNTS as u64 * 1_000, "{}", e.name());
+    }
+}
+
+#[test]
+fn plain_tracking_breaks_the_invariant_without_regions() {
+    // Sanity: the invariant is actually at risk — run the same paired
+    // counters racily (no regions) on a plain engine and observe lost
+    // updates, proving the enforcer is doing the work.
+    use drink_core::prelude::*;
+    let rtm = rt(8, 8);
+    let e = HybridEngine::new(rtm);
+    let oa = ObjId(0);
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            let e = &e;
+            s.spawn(move || {
+                let sess = Session::attach(e);
+                for _ in 0..2_000 {
+                    let a = sess.read(oa);
+                    // Widen the race window so the test is meaningful even on
+                    // single-core machines where preemption mid-increment is
+                    // otherwise rare.
+                    std::thread::yield_now();
+                    sess.write(oa, a + 1);
+                    sess.safepoint();
+                }
+            });
+        }
+    });
+    let a = e.rt().obj(oa).data_read();
+    assert!(
+        a < 16_000,
+        "racy increments should lose updates (got {a}); if this ever fails \
+         the serializability tests above are vacuous"
+    );
+}

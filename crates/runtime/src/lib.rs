@@ -1,0 +1,97 @@
+//! # drink-runtime: a managed-runtime substrate for dependence tracking
+//!
+//! The PPoPP'16 paper *Drinking from Both Glasses* implements its tracking
+//! schemes inside Jikes RVM, where the JIT compilers insert instrumentation
+//! before every memory access, program synchronization release operation
+//! (PSRO), and safe point. This crate is the Rust substitute for that
+//! substrate: it provides the *mechanisms* a managed runtime offers to the
+//! tracking instrumentation, without prescribing any tracking policy.
+//!
+//! The substrate consists of:
+//!
+//! * a registry of **mutator threads**, each with a [`control::ThreadControl`]
+//!   holding the cross-thread-visible status word (RUNNING/BLOCKED + epoch),
+//!   an explicit coordination request queue, and a release clock;
+//! * **safe point** conventions: threads respond to coordination requests only
+//!   at safe points (explicit polls, or blocking operations), mirroring the
+//!   JVM safe point mechanism the paper piggybacks on (§7.1);
+//! * **monitors** (program locks) and wait/notify with hook callbacks at the
+//!   points where the paper's instrumentation runs: PSROs, blocking safe
+//!   points, and wake-ups;
+//! * a **tracked-object heap**: every shared object carries a state word and a
+//!   profile word (the "two 32-bit words per object" of §7.1 — we use two
+//!   64-bit words) next to its data;
+//! * shared **statistics** and the paper's **cycle-cost model** (§2.2) so that
+//!   transition counts can be converted into platform-independent overhead
+//!   estimates.
+//!
+//! Tracking engines (crate `drink-core`) implement the [`RtHooks`] trait to
+//! receive these callbacks; workloads drive everything through the
+//! `drink-core` `Session` façade.
+
+pub mod control;
+pub mod cost;
+pub mod heap;
+pub mod ids;
+pub mod monitor;
+pub mod runtime;
+pub mod spin;
+pub mod stats;
+
+pub use control::{CoordRequest, ResponseToken, ThreadControl, ThreadStatus};
+pub use cost::CostModel;
+pub use heap::{Heap, ObjHeader};
+pub use ids::{MonitorId, ObjId, ThreadId};
+pub use monitor::Monitor;
+pub use runtime::{Runtime, RuntimeConfig};
+pub use spin::Spin;
+pub use stats::{Event, GlobalStats, LocalStats, StatsReport};
+
+/// Callbacks invoked by the substrate at the program points where a managed
+/// runtime would run tracking instrumentation.
+///
+/// The tracking engines in `drink-core` implement this; the substrate itself
+/// never interprets object states or coordination requests.
+pub trait RtHooks {
+    /// Non-blocking safe point poll: respond to any pending coordination
+    /// requests. Called by the mutator at loop back edges and while it spins
+    /// inside blocking operations.
+    fn poll(&self, t: ThreadId);
+
+    /// About to publish BLOCKED status: the thread must reach a consistent
+    /// "blocking safe point" state (e.g. flush its pessimistic lock buffer and
+    /// bump its release clock) because other threads may now coordinate with
+    /// it implicitly.
+    fn before_block(&self, t: ThreadId);
+
+    /// Called immediately after BLOCKED status is visible, to respond to
+    /// explicit requests that raced with the status change (the requester saw
+    /// RUNNING an instant before we blocked).
+    fn on_blocked_publish(&self, t: ThreadId);
+
+    /// Back to RUNNING. `epoch_bumped` is true if one or more threads
+    /// coordinated with this thread implicitly while it was blocked.
+    fn after_unblock(&self, t: ThreadId, epoch_bumped: bool);
+
+    /// Program synchronization release operation: monitor release, monitor
+    /// wait (which releases the monitor), thread fork, thread exit.
+    fn on_psro(&self, t: ThreadId);
+}
+
+/// A no-op hook implementation, useful for untracked baseline runs and tests
+/// of the bare substrate.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoHooks;
+
+impl RtHooks for NoHooks {
+    #[inline]
+    fn poll(&self, _t: ThreadId) {}
+    #[inline]
+    fn before_block(&self, _t: ThreadId) {}
+    #[inline]
+    fn on_blocked_publish(&self, _t: ThreadId) {}
+    #[inline]
+    fn after_unblock(&self, _t: ThreadId, _epoch_bumped: bool) {}
+    #[inline]
+    fn on_psro(&self, _t: ThreadId) {}
+}

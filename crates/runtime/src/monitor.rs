@@ -1,0 +1,420 @@
+//! Program monitors (locks) with instrumentation hooks.
+//!
+//! Monitors are the *program's* synchronization — the paper's `synchronized`
+//! blocks. The tracking instrumentation cares about them at two points:
+//!
+//! * a **release** (and the release half of `wait`) is a *program
+//!   synchronization release operation* (PSRO): hybrid tracking flushes the
+//!   thread's lock buffer immediately before the release becomes visible
+//!   (§3.1, Figure 2a), and the hybrid recorder's release clock is bumped;
+//! * a **contended acquire** (and the wait half of `wait`) is a *blocking
+//!   safe point*: the thread publishes BLOCKED so other threads can
+//!   coordinate with it implicitly (§2.2).
+//!
+//! The monitor also remembers, under its internal lock, the last releasing
+//! thread and that thread's release clock. Recorders read this at acquire
+//! time to log the synchronization happens-before edge, which lets the
+//! replayer elide monitor operations entirely and still preserve mutual
+//! exclusion (§7.6: "the replayer elides program synchronization operations
+//! and replays only the recorded dependences").
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::control::ThreadControl;
+use crate::ids::ThreadId;
+use crate::RtHooks;
+
+#[derive(Debug, Default)]
+struct MonState {
+    /// Current holder, if any.
+    held_by: Option<ThreadId>,
+    /// Reentrancy depth of the holder.
+    recursion: u32,
+    /// Last releasing thread and its release clock at release time.
+    last_release: Option<(ThreadId, u64)>,
+    /// Wait-set generation, used by `wait`/`notify_all` to avoid stealing
+    /// wakeups across distinct waits.
+    wait_generation: u64,
+}
+
+/// Outcome of an acquire, consumed by tracking engines and recorders.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AcquireInfo {
+    /// Did the acquire block (making it a blocking safe point)?
+    pub blocked: bool,
+    /// If it blocked: did implicit coordination happen while parked?
+    pub implicit_bumped: bool,
+    /// The previous releaser and its release clock, if the monitor has ever
+    /// been released. Recorders turn this into a sync happens-before edge.
+    pub prev_release: Option<(ThreadId, u64)>,
+    /// True if this acquire was reentrant (the thread already held it).
+    pub reentrant: bool,
+}
+
+enum TryAcquire {
+    Taken(AcquireInfo),
+    Contended,
+}
+
+/// A reentrant program monitor with wait/notify.
+#[derive(Debug)]
+pub struct Monitor {
+    state: Mutex<MonState>,
+    acquire_cv: Condvar,
+    wait_cv: Condvar,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    /// A fresh, unheld monitor.
+    pub fn new() -> Self {
+        Monitor {
+            state: Mutex::new(MonState::default()),
+            acquire_cv: Condvar::new(),
+            wait_cv: Condvar::new(),
+        }
+    }
+
+    /// One attempt to take the monitor without waiting.
+    fn try_acquire(&self, t: ThreadId) -> TryAcquire {
+        let mut st = self.state.lock();
+        match st.held_by {
+            None => {
+                st.held_by = Some(t);
+                st.recursion = 1;
+                TryAcquire::Taken(AcquireInfo {
+                    blocked: false,
+                    implicit_bumped: false,
+                    prev_release: st.last_release,
+                    reentrant: false,
+                })
+            }
+            Some(holder) if holder == t => {
+                st.recursion += 1;
+                TryAcquire::Taken(AcquireInfo {
+                    blocked: false,
+                    implicit_bumped: false,
+                    prev_release: st.last_release,
+                    reentrant: true,
+                })
+            }
+            Some(_) => TryAcquire::Contended,
+        }
+    }
+
+    /// Acquire the monitor for `t`. Uncontended acquires never touch the
+    /// thread status word. Contended acquires first *spin* for up to
+    /// `spin_iters` iterations — remaining a RUNNING thread and polling safe
+    /// points, like a JVM thin lock — and only then run the full
+    /// blocking-safe-point protocol around parking. (The spin phase matters
+    /// to the tracking protocols: a spinning waiter answers coordination
+    /// requests *explicitly*, a parked one is coordinated with *implicitly*.)
+    pub fn acquire<H: RtHooks>(
+        &self,
+        t: ThreadId,
+        control: &ThreadControl,
+        hooks: &H,
+        spin_iters: u32,
+    ) -> AcquireInfo {
+        match self.try_acquire(t) {
+            TryAcquire::Taken(info) => return info,
+            TryAcquire::Contended => {}
+        }
+
+        // Spin phase: keep responding to coordination while waiting. Yield
+        // periodically so the holder can run on oversubscribed machines.
+        for i in 0..spin_iters {
+            hooks.poll(t);
+            if i % 8 == 7 {
+                std::thread::yield_now();
+            } else {
+                core::hint::spin_loop();
+            }
+            if let TryAcquire::Taken(info) = self.try_acquire(t) {
+                return info;
+            }
+        }
+
+        // Contended: blocking safe point. Reach a consistent state, publish
+        // BLOCKED, then respond to any explicit requests that raced with the
+        // status change before parking.
+        hooks.before_block(t);
+        let block_epoch = control.publish_blocked();
+        hooks.on_blocked_publish(t);
+
+        let prev_release;
+        {
+            let mut st = self.state.lock();
+            while st.held_by.is_some() {
+                self.acquire_cv.wait(&mut st);
+            }
+            st.held_by = Some(t);
+            st.recursion = 1;
+            prev_release = st.last_release;
+        }
+
+        let implicit_bumped = control.return_to_running(block_epoch);
+        hooks.after_unblock(t, implicit_bumped);
+
+        AcquireInfo {
+            blocked: true,
+            implicit_bumped,
+            prev_release,
+            reentrant: false,
+        }
+    }
+
+    /// Release the monitor. The PSRO hook runs *before* the release becomes
+    /// visible to other threads, matching the paper's Figure 2(a): the lock
+    /// buffer is flushed, then the program lock is released.
+    ///
+    /// Panics if `t` does not hold the monitor (a workload bug).
+    pub fn release<H: RtHooks>(&self, t: ThreadId, control: &ThreadControl, hooks: &H) {
+        // PSRO instrumentation first: flush pessimistic states, bump clock.
+        hooks.on_psro(t);
+        let clock = control.release_clock();
+        let mut st = self.state.lock();
+        assert_eq!(st.held_by, Some(t), "release of monitor not held by {t}");
+        st.recursion -= 1;
+        if st.recursion == 0 {
+            st.held_by = None;
+            st.last_release = Some((t, clock));
+            drop(st);
+            self.acquire_cv.notify_one();
+        }
+    }
+
+    /// `Object.wait()`: atomically release the monitor and park until
+    /// notified, then re-acquire. The release half is a PSRO; the park is a
+    /// blocking safe point. Spurious wakeups are possible (callers loop on
+    /// their condition, as in Java).
+    ///
+    /// Panics if `t` does not hold the monitor.
+    pub fn wait<H: RtHooks>(&self, t: ThreadId, control: &ThreadControl, hooks: &H) -> AcquireInfo {
+        hooks.on_psro(t);
+        let clock = control.release_clock();
+
+        hooks.before_block(t);
+        let block_epoch = control.publish_blocked();
+        hooks.on_blocked_publish(t);
+
+        let prev_release;
+        {
+            let mut st = self.state.lock();
+            assert_eq!(st.held_by, Some(t), "wait on monitor not held by {t}");
+            let saved_recursion = st.recursion;
+            st.held_by = None;
+            st.recursion = 0;
+            st.last_release = Some((t, clock));
+            let my_generation = st.wait_generation;
+            self.acquire_cv.notify_one();
+
+            // Park until a notify advances the generation.
+            while st.wait_generation == my_generation {
+                self.wait_cv.wait(&mut st);
+            }
+            // Re-acquire.
+            while st.held_by.is_some() {
+                self.acquire_cv.wait(&mut st);
+            }
+            st.held_by = Some(t);
+            st.recursion = saved_recursion;
+            prev_release = st.last_release;
+        }
+
+        let implicit_bumped = control.return_to_running(block_epoch);
+        hooks.after_unblock(t, implicit_bumped);
+
+        AcquireInfo {
+            blocked: true,
+            implicit_bumped,
+            prev_release,
+            reentrant: false,
+        }
+    }
+
+    /// `Object.notifyAll()`: wake every waiter. The caller should hold the
+    /// monitor (as in Java), but this is not enforced — some lock-free
+    /// shutdown patterns notify without holding.
+    pub fn notify_all(&self) {
+        let mut st = self.state.lock();
+        st.wait_generation += 1;
+        drop(st);
+        self.wait_cv.notify_all();
+    }
+
+    /// Current holder (diagnostic; racy by nature).
+    pub fn holder(&self) -> Option<ThreadId> {
+        self.state.lock().held_by
+    }
+
+    /// Last releaser and its clock (diagnostic / recorder use outside the
+    /// acquire path).
+    pub fn last_release(&self) -> Option<(ThreadId, u64)> {
+        self.state.lock().last_release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoHooks;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn controls(n: usize) -> Vec<ThreadControl> {
+        (0..n).map(|_| ThreadControl::new()).collect()
+    }
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let m = Monitor::new();
+        let c = controls(1);
+        let info = m.acquire(ThreadId(0), &c[0], &NoHooks, 0);
+        assert!(!info.blocked);
+        assert!(!info.reentrant);
+        assert_eq!(info.prev_release, None);
+        assert_eq!(m.holder(), Some(ThreadId(0)));
+        m.release(ThreadId(0), &c[0], &NoHooks);
+        assert_eq!(m.holder(), None);
+        assert_eq!(m.last_release(), Some((ThreadId(0), 0)));
+    }
+
+    #[test]
+    fn reentrant_acquire_counts_recursion() {
+        let m = Monitor::new();
+        let c = controls(1);
+        m.acquire(ThreadId(0), &c[0], &NoHooks, 0);
+        let info = m.acquire(ThreadId(0), &c[0], &NoHooks, 0);
+        assert!(info.reentrant);
+        m.release(ThreadId(0), &c[0], &NoHooks);
+        assert_eq!(m.holder(), Some(ThreadId(0)), "still held after inner release");
+        m.release(ThreadId(0), &c[0], &NoHooks);
+        assert_eq!(m.holder(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "release of monitor not held")]
+    fn release_without_hold_panics() {
+        let m = Monitor::new();
+        let c = controls(1);
+        m.release(ThreadId(0), &c[0], &NoHooks);
+    }
+
+    #[test]
+    fn contended_acquire_blocks_and_records_prev_release() {
+        let m = Arc::new(Monitor::new());
+        let c: Arc<Vec<ThreadControl>> = Arc::new(controls(2));
+        let t0 = ThreadId(0);
+        let t1 = ThreadId(1);
+
+        m.acquire(t0, &c[0], &NoHooks, 0);
+        c[0].bump_release_clock(); // pretend a PSRO bump happened earlier
+
+        std::thread::scope(|s| {
+            let m2 = m.clone();
+            let c2 = c.clone();
+            let h = s.spawn(move || m2.acquire(t1, &c2[1], &NoHooks, 0));
+            // Give the contender time to park, then release.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            m.release(t0, &c[0], &NoHooks);
+            let info = h.join().unwrap();
+            assert!(info.blocked);
+            assert_eq!(info.prev_release, Some((t0, 1)));
+            m.release(t1, &c[1], &NoHooks);
+        });
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        const THREADS: usize = 8;
+        const ITERS: usize = 2_000;
+        let m = Arc::new(Monitor::new());
+        let c: Arc<Vec<ThreadControl>> = Arc::new(controls(THREADS));
+        let counter = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|s| {
+            for i in 0..THREADS {
+                let m = m.clone();
+                let c = c.clone();
+                let counter = counter.clone();
+                s.spawn(move || {
+                    let t = ThreadId(i as u16);
+                    for _ in 0..ITERS {
+                        m.acquire(t, &c[i], &NoHooks, 64);
+                        // Non-atomic-looking increment under the monitor: only
+                        // correct if mutual exclusion holds.
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        m.release(t, &c[i], &NoHooks);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), (THREADS * ITERS) as u64);
+    }
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        let m = Arc::new(Monitor::new());
+        let c: Arc<Vec<ThreadControl>> = Arc::new(controls(2));
+        let flag = Arc::new(AtomicU64::new(0));
+
+        std::thread::scope(|s| {
+            let m2 = m.clone();
+            let c2 = c.clone();
+            let flag2 = flag.clone();
+            let waiter = s.spawn(move || {
+                let t = ThreadId(0);
+                m2.acquire(t, &c2[0], &NoHooks, 0);
+                while flag2.load(Ordering::Relaxed) == 0 {
+                    m2.wait(t, &c2[0], &NoHooks);
+                }
+                m2.release(t, &c2[0], &NoHooks);
+            });
+
+            let t = ThreadId(1);
+            // Let the waiter park first (best-effort).
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            m.acquire(t, &c[1], &NoHooks, 0);
+            flag.store(1, Ordering::Relaxed);
+            m.notify_all();
+            m.release(t, &c[1], &NoHooks);
+            waiter.join().unwrap();
+        });
+        assert_eq!(m.holder(), None);
+    }
+
+    #[test]
+    fn blocked_acquirer_can_be_implicitly_coordinated() {
+        let m = Arc::new(Monitor::new());
+        let c: Arc<Vec<ThreadControl>> = Arc::new(controls(2));
+        m.acquire(ThreadId(0), &c[0], &NoHooks, 0);
+
+        std::thread::scope(|s| {
+            let m2 = m.clone();
+            let c2 = c.clone();
+            let h = s.spawn(move || m2.acquire(ThreadId(1), &c2[1], &NoHooks, 0));
+
+            // Wait until T1 publishes BLOCKED, then coordinate implicitly.
+            let mut spin = crate::spin::Spin::new("T1 to block on monitor");
+            let epoch = loop {
+                if let crate::control::ThreadStatus::Blocked { epoch } = c[1].status() {
+                    break epoch;
+                }
+                spin.spin();
+            };
+            assert!(c[1].try_implicit(epoch));
+
+            m.release(ThreadId(0), &c[0], &NoHooks);
+            let info = h.join().unwrap();
+            assert!(info.blocked);
+            assert!(info.implicit_bumped, "wake must report the implicit bump");
+        });
+    }
+}

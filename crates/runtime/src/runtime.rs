@@ -1,0 +1,268 @@
+//! The runtime registry: threads, heap, monitors, global counters.
+
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::time::Duration;
+
+use crate::control::ThreadControl;
+use crate::heap::Heap;
+use crate::ids::{MonitorId, ObjId, ThreadId};
+use crate::monitor::{AcquireInfo, Monitor};
+use crate::stats::GlobalStats;
+use crate::RtHooks;
+
+/// Sizing and tuning knobs for one [`Runtime`] instance.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    /// Maximum number of mutator threads that may register.
+    pub max_threads: usize,
+    /// Number of tracked objects in the heap.
+    pub heap_objects: usize,
+    /// Number of program monitors.
+    pub monitors: usize,
+    /// Watchdog budget for every spin loop (coordination waits, replay
+    /// waits). Zero disables the watchdog.
+    pub spin_budget: Duration,
+    /// Iterations a contended monitor acquire spins (polling safe points as
+    /// a RUNNING thread, like a JVM thin lock) before parking. Affects how
+    /// often coordination against lock waiters is explicit vs. implicit.
+    pub monitor_spin_iters: u32,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            max_threads: 64,
+            heap_objects: 1024,
+            monitors: 16,
+            spin_budget: crate::spin::Spin::DEFAULT_BUDGET,
+            monitor_spin_iters: 300,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Convenience constructor for the common (threads, objects, monitors)
+    /// triple.
+    pub fn sized(max_threads: usize, heap_objects: usize, monitors: usize) -> Self {
+        RuntimeConfig {
+            max_threads,
+            heap_objects,
+            monitors,
+            ..RuntimeConfig::default()
+        }
+    }
+}
+
+/// One execution environment: a thread registry, a tracked heap, a monitor
+/// table, the global RdSh counter, and aggregate statistics.
+///
+/// A `Runtime` is created per measured run and shared across mutators by
+/// reference (workload drivers use scoped threads).
+#[derive(Debug)]
+pub struct Runtime {
+    config: RuntimeConfig,
+    controls: Box<[ThreadControl]>,
+    heap: Heap,
+    monitors: Box<[Monitor]>,
+    /// The paper's monotonically increasing global counter `gRdShCount`
+    /// (Table 1 footnote): upgrading transitions to RdSh take their counter
+    /// value `c` from here.
+    g_rdsh_count: AtomicU64,
+    next_tid: AtomicU16,
+    stats: GlobalStats,
+}
+
+impl Runtime {
+    /// Build a runtime per `config`.
+    pub fn new(config: RuntimeConfig) -> Self {
+        assert!(config.max_threads <= ThreadId::MAX, "too many threads");
+        let controls = (0..config.max_threads)
+            .map(|_| ThreadControl::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let heap = Heap::new(config.heap_objects);
+        let monitors = (0..config.monitors)
+            .map(|_| Monitor::new())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Runtime {
+            config,
+            controls,
+            heap,
+            monitors,
+            // Start at 1 so that counter value 0 can mean "no RdSh epoch".
+            g_rdsh_count: AtomicU64::new(1),
+            next_tid: AtomicU16::new(0),
+            stats: GlobalStats::new(),
+        }
+    }
+
+    /// The configuration this runtime was built with.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Register the calling thread as a mutator; ids are dense and assigned
+    /// in registration order. Panics if `max_threads` is exceeded.
+    pub fn register_thread(&self) -> ThreadId {
+        let raw = self.next_tid.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (raw as usize) < self.config.max_threads,
+            "thread registry full ({} max)",
+            self.config.max_threads
+        );
+        ThreadId(raw)
+    }
+
+    /// Number of threads registered so far.
+    pub fn registered_threads(&self) -> usize {
+        (self.next_tid.load(Ordering::Relaxed) as usize).min(self.config.max_threads)
+    }
+
+    /// Control block of thread `t`.
+    #[inline(always)]
+    pub fn control(&self, t: ThreadId) -> &ThreadControl {
+        &self.controls[t.index()]
+    }
+
+    /// All control blocks (coordination with "every other thread" for RdSh
+    /// conflicts iterates registered threads only).
+    pub fn controls(&self) -> &[ThreadControl] {
+        &self.controls[..self.registered_threads()]
+    }
+
+    /// The tracked heap.
+    #[inline(always)]
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// The object with id `o` (shorthand for `heap().obj(o)`).
+    #[inline(always)]
+    pub fn obj(&self, o: ObjId) -> &crate::heap::ObjHeader {
+        self.heap.obj(o)
+    }
+
+    /// The monitor with id `m`.
+    #[inline(always)]
+    pub fn monitor(&self, m: MonitorId) -> &Monitor {
+        &self.monitors[m.index()]
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> &GlobalStats {
+        &self.stats
+    }
+
+    /// Claim the next RdSh counter value (the paper's `gRdShCount`).
+    /// AcqRel: the RMW chain on this counter is what orders RdSh epoch
+    /// creations, which Octet's fence transitions (and the recorder's epoch
+    /// chain) rely on.
+    #[inline]
+    pub fn next_rdsh_count(&self) -> u64 {
+        self.g_rdsh_count.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current RdSh counter value without claiming.
+    pub fn current_rdsh_count(&self) -> u64 {
+        self.g_rdsh_count.load(Ordering::Relaxed)
+    }
+
+    // --- Monitor convenience wrappers ---
+
+    /// Acquire monitor `m` for thread `t` (see [`Monitor::acquire`]).
+    pub fn monitor_acquire<H: RtHooks>(&self, m: MonitorId, t: ThreadId, hooks: &H) -> AcquireInfo {
+        self.monitor(m)
+            .acquire(t, self.control(t), hooks, self.config.monitor_spin_iters)
+    }
+
+    /// Release monitor `m` (see [`Monitor::release`]).
+    pub fn monitor_release<H: RtHooks>(&self, m: MonitorId, t: ThreadId, hooks: &H) {
+        self.monitor(m).release(t, self.control(t), hooks)
+    }
+
+    /// Wait on monitor `m` (see [`Monitor::wait`]).
+    pub fn monitor_wait<H: RtHooks>(&self, m: MonitorId, t: ThreadId, hooks: &H) -> AcquireInfo {
+        self.monitor(m).wait(t, self.control(t), hooks)
+    }
+
+    /// Notify all waiters of monitor `m`.
+    pub fn monitor_notify_all(&self, m: MonitorId) {
+        self.monitor(m).notify_all()
+    }
+
+    /// Run an arbitrary blocking operation (thread join, I/O stand-in, timed
+    /// sleep) as a blocking safe point: flush → publish BLOCKED → respond to
+    /// raced requests → run `f` → return to RUNNING. Returns `f`'s result and
+    /// whether implicit coordination occurred while blocked.
+    pub fn blocking<H: RtHooks, R>(&self, t: ThreadId, hooks: &H, f: impl FnOnce() -> R) -> (R, bool) {
+        hooks.before_block(t);
+        let epoch = self.control(t).publish_blocked();
+        hooks.on_blocked_publish(t);
+        let r = f();
+        let bumped = self.control(t).return_to_running(epoch);
+        hooks.after_unblock(t, bumped);
+        (r, bumped)
+    }
+
+    /// A watchdog spinner configured with this runtime's spin budget.
+    pub fn spinner(&self, what: &'static str) -> crate::spin::Spin {
+        crate::spin::Spin::with_budget(what, self.config.spin_budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoHooks;
+
+    #[test]
+    fn registration_is_dense() {
+        let rt = Runtime::new(RuntimeConfig::sized(4, 8, 2));
+        assert_eq!(rt.register_thread(), ThreadId(0));
+        assert_eq!(rt.register_thread(), ThreadId(1));
+        assert_eq!(rt.registered_threads(), 2);
+        assert_eq!(rt.controls().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread registry full")]
+    fn registry_overflow_panics() {
+        let rt = Runtime::new(RuntimeConfig::sized(1, 1, 1));
+        rt.register_thread();
+        rt.register_thread();
+    }
+
+    #[test]
+    fn rdsh_counter_is_monotonic_and_starts_past_zero() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let a = rt.next_rdsh_count();
+        let b = rt.next_rdsh_count();
+        assert!(a >= 2, "0 is reserved for 'no epoch', counter starts at 1");
+        assert!(b > a);
+        assert_eq!(rt.current_rdsh_count(), b);
+    }
+
+    #[test]
+    fn blocking_helper_roundtrips_status() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let t = rt.register_thread();
+        let (val, bumped) = rt.blocking(t, &NoHooks, || 42);
+        assert_eq!(val, 42);
+        assert!(!bumped);
+        assert!(matches!(
+            rt.control(t).status(),
+            crate::control::ThreadStatus::Running { .. }
+        ));
+    }
+
+    #[test]
+    fn monitor_wrappers_work() {
+        let rt = Runtime::new(RuntimeConfig::sized(2, 2, 2));
+        let t = rt.register_thread();
+        let info = rt.monitor_acquire(MonitorId(0), t, &NoHooks);
+        assert!(!info.blocked);
+        rt.monitor_release(MonitorId(0), t, &NoHooks);
+        assert_eq!(rt.monitor(MonitorId(0)).holder(), None);
+    }
+}

@@ -1,0 +1,120 @@
+//! Watchdog-equipped spin loop helper.
+//!
+//! Coordination in this system is built on bounded spinning: a requester spins
+//! on a response token while acting as a safe point, a contended pessimistic
+//! transition spins until the remote thread flushes its lock buffer, and a
+//! replayed sink spins on a source thread's clock. A protocol bug in any of
+//! these would hang the process silently, so every spin loop in the workspace
+//! goes through [`Spin`], which backs off politely and panics with a
+//! descriptive message if a configurable deadline passes.
+
+use std::time::{Duration, Instant};
+
+/// Exponential-backoff spinner with a deadline watchdog.
+///
+/// The first few iterations use `core::hint::spin_loop`, then the spinner
+/// starts yielding to the OS scheduler; this keeps latency low for the
+/// short waits that dominate (a remote thread reaching its next safe point)
+/// without burning a core during long replay waits.
+pub struct Spin {
+    what: &'static str,
+    deadline: Option<Instant>,
+    budget: Duration,
+    iters: u32,
+    started: Option<Instant>,
+}
+
+impl Spin {
+    /// Default watchdog budget used when the runtime config does not override
+    /// it. Generous enough for heavily oversubscribed CI machines.
+    pub const DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+    /// A spinner for the wait described by `what` (used in the panic message).
+    pub fn new(what: &'static str) -> Self {
+        Spin::with_budget(what, Spin::DEFAULT_BUDGET)
+    }
+
+    /// A spinner with an explicit watchdog budget. A zero budget disables the
+    /// watchdog entirely (spins forever).
+    pub fn with_budget(what: &'static str, budget: Duration) -> Self {
+        Spin {
+            what,
+            deadline: None,
+            budget,
+            iters: 0,
+            started: None,
+        }
+    }
+
+    /// One backoff step. Panics if the watchdog budget is exhausted, which in
+    /// this workspace always indicates a coordination-protocol bug (or an
+    /// impossibly overloaded machine).
+    ///
+    /// Yields to the OS scheduler early (after 16 iterations): the protocols
+    /// in this workspace wait on *other threads'* progress, so on
+    /// oversubscribed machines (including single-core CI boxes) burning the
+    /// quantum in `spin_loop` delays exactly the thread being waited for.
+    #[inline]
+    pub fn spin(&mut self) {
+        self.iters += 1;
+        if self.iters < 16 {
+            core::hint::spin_loop();
+            return;
+        }
+        // Arm the watchdog lazily so that the fast path never reads the clock.
+        let now = Instant::now();
+        let deadline = *self.deadline.get_or_insert_with(|| {
+            self.started = Some(now);
+            if self.budget.is_zero() {
+                now + Duration::from_secs(u64::MAX / 4)
+            } else {
+                now + self.budget
+            }
+        });
+        if now >= deadline {
+            panic!(
+                "spin watchdog expired after {:?} while waiting for: {}",
+                self.started.map(|s| now - s).unwrap_or_default(),
+                self.what
+            );
+        }
+        std::thread::yield_now();
+    }
+
+    /// Number of backoff steps taken so far.
+    pub fn iterations(&self) -> u32 {
+        self.iters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_spins_complete() {
+        let mut s = Spin::new("test wait");
+        for _ in 0..100 {
+            s.spin();
+        }
+        assert_eq!(s.iterations(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "spin watchdog expired")]
+    fn watchdog_fires_on_expiry() {
+        let mut s = Spin::with_budget("doomed wait", Duration::from_millis(20));
+        loop {
+            s.spin();
+        }
+    }
+
+    #[test]
+    fn zero_budget_disables_watchdog() {
+        let mut s = Spin::with_budget("unbounded wait", Duration::ZERO);
+        for _ in 0..5_000 {
+            s.spin();
+        }
+        assert!(s.iterations() >= 5_000);
+    }
+}

@@ -1,0 +1,420 @@
+//! Execution statistics shared by every tracking engine.
+//!
+//! The paper's evaluation is driven almost entirely by *state-transition
+//! counts* (Table 2) and by the per-transition-kind *cycle costs* (§2.2).
+//! Every engine therefore increments a [`LocalStats`] counter for each event;
+//! local counters are plain (uncontended) `u64`s merged into a [`GlobalStats`]
+//! when a mutator detaches, so counting never perturbs the measured protocols
+//! with extra cache traffic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Every countable event in the substrate and the tracking engines.
+///
+/// The first block mirrors the transition taxonomy of Table 1/Table 3; the
+/// second block counts coordination and runtime-support events. The paper's
+/// Table 2 columns are derived from these counters by
+/// [`StatsReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum Event {
+    // --- Optimistic transitions (Table 1 / bottom half of Table 3) ---
+    /// Same-state optimistic transition: the synchronization-free fast path.
+    OptSameState,
+    /// Upgrading transition (RdEx→WrEx by owner, RdEx→RdSh): one CAS.
+    OptUpgrading,
+    /// Fence transition: first read of a RdSh object with a stale
+    /// per-thread rdShCount; a memory fence, no CAS.
+    OptFence,
+    /// Conflicting optimistic transition resolved with explicit (roundtrip)
+    /// coordination.
+    OptConflictExplicit,
+    /// Conflicting optimistic transition resolved implicitly against a
+    /// blocked thread.
+    OptConflictImplicit,
+
+    // --- Pessimistic transitions (top half of Table 3) ---
+    /// Uncontended pessimistic transition that required a CAS.
+    PessUncontended,
+    /// Reentrant pessimistic transition: no state change, no atomic op
+    /// (already read/write-locked appropriately by this thread).
+    PessReentrant,
+    /// Contended pessimistic transition: conflicted with a locked state and
+    /// fell back to coordination.
+    PessContended,
+    /// Pessimistic transition whose previous state was last held by a
+    /// *different* thread (§7.5 reports 26% of racyInc's pessimistic accesses
+    /// "lock a state with a different thread than the previous access" —
+    /// the remote-cache-miss proxy).
+    PessOwnerChange,
+
+    // --- Hybrid-model state moves (the diamonds of Figure 3) ---
+    /// An object moved from optimistic to pessimistic states.
+    OptToPess,
+    /// An object moved from pessimistic back to optimistic states.
+    PessToOpt,
+
+    // --- Deferred unlocking ---
+    /// A lock-buffer flush (at a PSRO or responding safe point).
+    LockBufferFlush,
+    /// An individual object state unlocked during a flush.
+    StateUnlocked,
+
+    // --- Coordination mechanics ---
+    /// This thread responded to an explicit coordination request at a safe
+    /// point.
+    RespondedExplicit,
+    /// This thread was coordinated with implicitly while blocked (counted on
+    /// wake-up; several implicit coordinations may collapse into one epoch
+    /// observation).
+    ImplicitObservedOnWake,
+    /// This thread performed an implicit coordination against a blocked
+    /// remote thread.
+    ImplicitPerformed,
+    /// A coordination roundtrip this thread initiated (send → response).
+    CoordinationRoundtrip,
+
+    // --- Program-level events ---
+    /// Tracked read access.
+    Read,
+    /// Tracked write access.
+    Write,
+    /// Monitor acquired without blocking.
+    MonitorAcquireFast,
+    /// Monitor acquire had to block.
+    MonitorAcquireBlocked,
+    /// Monitor released (a PSRO).
+    MonitorRelease,
+    /// Safe point poll executed.
+    SafepointPoll,
+
+    // --- Runtime support ---
+    /// Recorder: a happens-before edge was logged.
+    RecorderEdge,
+    /// Replayer: a sink had to spin-wait for its source clock.
+    ReplayWait,
+    /// RS enforcer: a region started (or restarted) execution.
+    RegionExec,
+    /// RS enforcer: a region was rolled back and restarted.
+    RegionRestart,
+}
+
+impl Event {
+    /// Number of event kinds (length of the counter arrays).
+    pub const COUNT: usize = Event::RegionRestart as usize + 1;
+
+    /// All events, in counter-index order.
+    pub const ALL: [Event; Event::COUNT] = [
+        Event::OptSameState,
+        Event::OptUpgrading,
+        Event::OptFence,
+        Event::OptConflictExplicit,
+        Event::OptConflictImplicit,
+        Event::PessUncontended,
+        Event::PessReentrant,
+        Event::PessContended,
+        Event::PessOwnerChange,
+        Event::OptToPess,
+        Event::PessToOpt,
+        Event::LockBufferFlush,
+        Event::StateUnlocked,
+        Event::RespondedExplicit,
+        Event::ImplicitObservedOnWake,
+        Event::ImplicitPerformed,
+        Event::CoordinationRoundtrip,
+        Event::Read,
+        Event::Write,
+        Event::MonitorAcquireFast,
+        Event::MonitorAcquireBlocked,
+        Event::MonitorRelease,
+        Event::SafepointPoll,
+        Event::RecorderEdge,
+        Event::ReplayWait,
+        Event::RegionExec,
+        Event::RegionRestart,
+    ];
+
+    /// Stable human-readable name (used by the bench harnesses' reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Event::OptSameState => "opt.same_state",
+            Event::OptUpgrading => "opt.upgrading",
+            Event::OptFence => "opt.fence",
+            Event::OptConflictExplicit => "opt.conflict_explicit",
+            Event::OptConflictImplicit => "opt.conflict_implicit",
+            Event::PessUncontended => "pess.uncontended",
+            Event::PessReentrant => "pess.reentrant",
+            Event::PessContended => "pess.contended",
+            Event::PessOwnerChange => "pess.owner_change",
+            Event::OptToPess => "hybrid.opt_to_pess",
+            Event::PessToOpt => "hybrid.pess_to_opt",
+            Event::LockBufferFlush => "hybrid.lock_buffer_flush",
+            Event::StateUnlocked => "hybrid.state_unlocked",
+            Event::RespondedExplicit => "coord.responded_explicit",
+            Event::ImplicitObservedOnWake => "coord.implicit_observed",
+            Event::ImplicitPerformed => "coord.implicit_performed",
+            Event::CoordinationRoundtrip => "coord.roundtrip",
+            Event::Read => "access.read",
+            Event::Write => "access.write",
+            Event::MonitorAcquireFast => "monitor.acquire_fast",
+            Event::MonitorAcquireBlocked => "monitor.acquire_blocked",
+            Event::MonitorRelease => "monitor.release",
+            Event::SafepointPoll => "safepoint.poll",
+            Event::RecorderEdge => "recorder.edge",
+            Event::ReplayWait => "replayer.wait",
+            Event::RegionExec => "rs.region_exec",
+            Event::RegionRestart => "rs.region_restart",
+        }
+    }
+}
+
+/// Per-thread event counters: plain integers, owned by one mutator, merged on
+/// detach. Incrementing is a single add on thread-private memory, so the
+/// measured protocols are unperturbed.
+#[derive(Clone, Debug)]
+pub struct LocalStats {
+    counts: [u64; Event::COUNT],
+}
+
+impl Default for LocalStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        LocalStats {
+            counts: [0; Event::COUNT],
+        }
+    }
+
+    /// Count one occurrence of `e`.
+    #[inline(always)]
+    pub fn bump(&mut self, e: Event) {
+        self.counts[e as usize] += 1;
+    }
+
+    /// Count `n` occurrences of `e`.
+    #[inline(always)]
+    pub fn add(&mut self, e: Event, n: u64) {
+        self.counts[e as usize] += n;
+    }
+
+    /// Current count for `e`.
+    #[inline]
+    pub fn get(&self, e: Event) -> u64 {
+        self.counts[e as usize]
+    }
+
+    /// Merge this thread's counters into the global aggregate.
+    pub fn merge_into(&self, global: &GlobalStats) {
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c != 0 {
+                global.counts[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Process-wide aggregate of all mutators' counters.
+#[derive(Debug)]
+pub struct GlobalStats {
+    counts: [AtomicU64; Event::COUNT],
+}
+
+impl Default for GlobalStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GlobalStats {
+    /// Fresh zeroed aggregate.
+    pub fn new() -> Self {
+        GlobalStats {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Current aggregate count for `e`.
+    pub fn get(&self, e: Event) -> u64 {
+        self.counts[e as usize].load(Ordering::Relaxed)
+    }
+
+    /// Snapshot every counter into a serializable report.
+    pub fn report(&self) -> StatsReport {
+        let mut counts = [0u64; Event::COUNT];
+        for (i, c) in self.counts.iter().enumerate() {
+            counts[i] = c.load(Ordering::Relaxed);
+        }
+        StatsReport { counts }
+    }
+
+    /// Reset all counters to zero (between benchmark phases).
+    pub fn reset(&self) {
+        for c in &self.counts {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable snapshot of [`GlobalStats`], with the derived quantities the
+/// paper reports.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct StatsReport {
+    counts: [u64; Event::COUNT],
+}
+
+impl StatsReport {
+    /// Count for one event kind.
+    pub fn get(&self, e: Event) -> u64 {
+        self.counts[e as usize]
+    }
+
+    /// Total tracked accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.get(Event::Read) + self.get(Event::Write)
+    }
+
+    /// Table 2, "Optimistic / Same state".
+    pub fn opt_same_state(&self) -> u64 {
+        self.get(Event::OptSameState)
+    }
+
+    /// Table 2, "Optimistic / Conflicting" (explicit + implicit).
+    pub fn opt_conflicting(&self) -> u64 {
+        self.get(Event::OptConflictExplicit) + self.get(Event::OptConflictImplicit)
+    }
+
+    /// Table 2, "Pessimistic / Uncontended" (CAS + reentrant).
+    pub fn pess_uncontended(&self) -> u64 {
+        self.get(Event::PessUncontended) + self.get(Event::PessReentrant)
+    }
+
+    /// Table 2, "%Reentrant": share of uncontended pessimistic transitions
+    /// that were reentrant (no atomic operation).
+    pub fn pess_reentrant_pct(&self) -> f64 {
+        let unc = self.pess_uncontended();
+        if unc == 0 {
+            0.0
+        } else {
+            100.0 * self.get(Event::PessReentrant) as f64 / unc as f64
+        }
+    }
+
+    /// Table 2, "Pessimistic / Contended".
+    pub fn pess_contended(&self) -> u64 {
+        self.get(Event::PessContended)
+    }
+
+    /// Table 2, "Opt. to Pess.".
+    pub fn opt_to_pess(&self) -> u64 {
+        self.get(Event::OptToPess)
+    }
+
+    /// Table 2, "Pess. to Opt.".
+    pub fn pess_to_opt(&self) -> u64 {
+        self.get(Event::PessToOpt)
+    }
+
+    /// Conflict rate: conflicting optimistic transitions (explicit only, as
+    /// in Figure 6) over all accesses.
+    pub fn explicit_conflict_rate(&self) -> f64 {
+        let acc = self.accesses();
+        if acc == 0 {
+            0.0
+        } else {
+            self.get(Event::OptConflictExplicit) as f64 / acc as f64
+        }
+    }
+
+    /// All (event, count) pairs with non-zero counts, for printing.
+    pub fn nonzero(&self) -> Vec<(Event, u64)> {
+        Event::ALL
+            .iter()
+            .copied()
+            .filter(|&e| self.get(e) != 0)
+            .map(|e| (e, self.get(e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_all_is_in_discriminant_order() {
+        for (i, e) in Event::ALL.iter().enumerate() {
+            assert_eq!(*e as usize, i, "ALL out of order at {i}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn event_names_are_unique() {
+        let mut names: Vec<_> = Event::ALL.iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Event::COUNT);
+    }
+
+    #[test]
+    fn local_merge_accumulates() {
+        let global = GlobalStats::new();
+        let mut a = LocalStats::new();
+        let mut b = LocalStats::new();
+        a.bump(Event::Read);
+        a.add(Event::OptSameState, 10);
+        b.add(Event::Read, 2);
+        b.bump(Event::PessContended);
+        a.merge_into(&global);
+        b.merge_into(&global);
+        let r = global.report();
+        assert_eq!(r.get(Event::Read), 3);
+        assert_eq!(r.get(Event::OptSameState), 10);
+        assert_eq!(r.get(Event::PessContended), 1);
+        assert_eq!(r.get(Event::Write), 0);
+    }
+
+    #[test]
+    fn report_derives_table2_columns() {
+        let global = GlobalStats::new();
+        let mut l = LocalStats::new();
+        l.add(Event::Read, 60);
+        l.add(Event::Write, 40);
+        l.add(Event::PessUncontended, 30);
+        l.add(Event::PessReentrant, 10);
+        l.add(Event::OptConflictExplicit, 5);
+        l.add(Event::OptConflictImplicit, 2);
+        l.merge_into(&global);
+        let r = global.report();
+        assert_eq!(r.accesses(), 100);
+        assert_eq!(r.pess_uncontended(), 40);
+        assert!((r.pess_reentrant_pct() - 25.0).abs() < 1e-9);
+        assert_eq!(r.opt_conflicting(), 7);
+        assert!((r.explicit_conflict_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let global = GlobalStats::new();
+        let mut l = LocalStats::new();
+        l.bump(Event::RegionRestart);
+        l.merge_into(&global);
+        assert_eq!(global.get(Event::RegionRestart), 1);
+        global.reset();
+        assert_eq!(global.get(Event::RegionRestart), 0);
+    }
+
+    #[test]
+    fn empty_report_rates_are_zero() {
+        let r = GlobalStats::new().report();
+        assert_eq!(r.pess_reentrant_pct(), 0.0);
+        assert_eq!(r.explicit_conflict_rate(), 0.0);
+        assert!(r.nonzero().is_empty());
+    }
+}

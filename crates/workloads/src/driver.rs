@@ -1,0 +1,360 @@
+//! Workload execution driver.
+//!
+//! Runs a [`WorkloadSpec`] against any tracking engine and collects the
+//! measurements the evaluation needs: wall-clock time, the transition-count
+//! report (Table 2), the final heap image (replay-determinism witness), and
+//! the per-object conflict histogram (Figure 6).
+//!
+//! Every thread mixes the values it reads into a running accumulator and
+//! derives the values it writes from it, so the final heap contents are a
+//! fingerprint of the cross-thread dependence order — two runs that resolve
+//! every dependence identically produce bit-identical heaps.
+
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use drink_core::policy::AdaptivePolicy;
+use drink_core::prelude::*;
+use drink_runtime::{Runtime, RuntimeConfig, StatsReport};
+
+use crate::spec::{Op, WorkloadSpec};
+
+/// Everything one workload run produces.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Engine configuration name.
+    pub engine: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Wall-clock duration of the parallel phase.
+    pub wall: Duration,
+    /// Aggregate transition statistics.
+    pub report: StatsReport,
+    /// Final payloads of every object (determinism witness).
+    pub heap: Vec<u64>,
+    /// Per-object explicit-conflict counts (for the Figure 6 CDF); saturates
+    /// at 65 535 per object.
+    pub conflicts_per_object: Vec<u32>,
+}
+
+impl RunResult {
+    /// Figure 6's cumulative distribution: for each `x`, the fraction of all
+    /// accesses that were conflicting transitions numbered ≤ `x` on their
+    /// object. An object whose final count is `k` contributed one conflict
+    /// at each ordinal `1..=k`, so `cdf(x) = Σ_o min(k_o, x) / accesses`.
+    pub fn conflict_cdf(&self, x: u32) -> f64 {
+        let total = self.report.accesses();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .conflicts_per_object
+            .iter()
+            .map(|&k| k.min(x) as u64)
+            .sum();
+        sum as f64 / total as f64
+    }
+}
+
+/// Build a runtime sized for `spec`.
+pub fn runtime_for(spec: &WorkloadSpec) -> Arc<Runtime> {
+    let mut cfg = RuntimeConfig::sized(spec.threads, spec.heap_objects(), spec.monitors.max(1));
+    if let Some(spin) = spec.monitor_spin {
+        cfg.monitor_spin_iters = spin;
+    }
+    Arc::new(Runtime::new(cfg))
+}
+
+/// The deterministic local-computation kernel (an `Op::Work` unit).
+#[inline]
+pub fn local_work(n: u32) {
+    let mut x = std::hint::black_box(0x243F_6A88_85A3_08D3u64);
+    for i in 0..n {
+        x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(i as u64);
+    }
+    std::hint::black_box(x);
+}
+
+/// Execute one thread's op sequence through a session. Returns the thread's
+/// final accumulator (a determinism witness of the values it observed).
+pub fn execute_ops<T: Tracker>(sess: &Session<'_, T>, ops: &[Op]) -> u64 {
+    let mut acc: u64 = u64::from(sess.tid().raw()) + 1;
+    for op in ops {
+        match *op {
+            Op::Read(o) => {
+                let v = sess.read(o);
+                acc = acc.rotate_left(7) ^ v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            }
+            Op::Write(o) => {
+                acc = acc
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                sess.write(o, acc);
+            }
+            Op::Lock(m) => sess.lock(m),
+            Op::Unlock(m) => sess.unlock(m),
+            Op::Work(n) => local_work(n),
+            Op::Safepoint => sess.safepoint(),
+            Op::Yield => std::thread::yield_now(),
+        }
+    }
+    acc
+}
+
+/// Run `spec` on `engine`. The engine's runtime must be sized by
+/// [`runtime_for`] (or larger).
+pub fn run_workload<T: Tracker>(engine: &T, spec: &WorkloadSpec) -> RunResult {
+    let rt = engine.rt();
+    assert!(rt.heap().len() >= spec.heap_objects(), "heap too small");
+    assert!(rt.config().max_threads >= spec.threads, "too few thread slots");
+
+    // Object allocation: every object starts owned by its allocating thread,
+    // except the long-lived read-mostly region, which starts read-shared (see
+    // `Tracker::alloc_init_read_shared`).
+    for i in 0..spec.heap_objects() {
+        let o = drink_runtime::ObjId(i as u32);
+        if spec.is_read_shared(o) {
+            engine.alloc_init_read_shared(o);
+        } else {
+            engine.alloc_init(o, spec.initial_owner(o));
+        }
+    }
+
+    // Pre-expand op sequences outside the measured region. Each worker
+    // executes the sequence belonging to its *attached* mutator id — thread
+    // spawn order and attach order need not agree, and the op streams are
+    // what own the per-thread object partitions (and what the replayer's
+    // per-thread logs are keyed by).
+    let all_ops: Vec<Vec<Op>> = (0..spec.threads).map(|t| spec.ops(t)).collect();
+    let barrier = Barrier::new(spec.threads);
+
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..spec.threads {
+            let engine = &engine;
+            let barrier = &barrier;
+            let all_ops = &all_ops;
+            s.spawn(move || {
+                let sess = Session::attach(*engine);
+                let ops = &all_ops[sess.tid().index()];
+                barrier.wait();
+                execute_ops(&sess, ops);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let heap = rt.heap().snapshot_data();
+    let conflicts_per_object = rt
+        .heap()
+        .iter()
+        .map(|(_, h)| AdaptivePolicy::profile(h.profile()).num_conflicts)
+        .collect();
+
+    RunResult {
+        engine: engine.name(),
+        workload: spec.name.clone(),
+        wall,
+        report: rt.stats().report(),
+        heap,
+        conflicts_per_object,
+    }
+}
+
+/// The engine configurations of Figure 7.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Unmodified runtime (overhead baseline).
+    Baseline,
+    /// Pessimistic tracking (§2.1).
+    Pessimistic,
+    /// Optimistic tracking (§2.2).
+    Optimistic,
+    /// Hybrid tracking with the paper's default policy (§3/§6).
+    Hybrid,
+    /// Hybrid tracking with `Cutoff_confl = ∞` (costs-only configuration).
+    HybridInfiniteCutoff,
+    /// The unsound "Ideal" upper-bound estimate (§7.5).
+    Ideal,
+}
+
+impl EngineKind {
+    /// All configurations, in Figure 7's legend order (baseline excluded).
+    pub const FIGURE7: [EngineKind; 5] = [
+        EngineKind::Pessimistic,
+        EngineKind::Optimistic,
+        EngineKind::HybridInfiniteCutoff,
+        EngineKind::Hybrid,
+        EngineKind::Ideal,
+    ];
+
+    /// Display name matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Baseline => "Baseline",
+            EngineKind::Pessimistic => "Pessimistic tracking",
+            EngineKind::Optimistic => "Optimistic tracking",
+            EngineKind::Hybrid => "Hybrid tracking",
+            EngineKind::HybridInfiniteCutoff => "Hybrid tracking w/infinite cutoff",
+            EngineKind::Ideal => "Ideal",
+        }
+    }
+}
+
+/// Construct a fresh runtime + engine of the given kind and run `spec` on it.
+pub fn run_kind(kind: EngineKind, spec: &WorkloadSpec) -> RunResult {
+    let rt = runtime_for(spec);
+    match kind {
+        EngineKind::Baseline => run_workload(&NoTracking::new(rt), spec),
+        EngineKind::Pessimistic => run_workload(&PessimisticEngine::new(rt), spec),
+        EngineKind::Optimistic => run_workload(&OptimisticEngine::new(rt), spec),
+        EngineKind::Hybrid => run_workload(&HybridEngine::new(rt), spec),
+        EngineKind::HybridInfiniteCutoff => run_workload(
+            &HybridEngine::with_config(
+                rt,
+                NullSupport,
+                drink_core::engine::hybrid::HybridConfig::infinite_cutoff(),
+            ),
+            spec,
+        ),
+        EngineKind::Ideal => run_workload(&IdealEngine::new(rt), spec),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{racy_inc, sync_inc};
+    use drink_runtime::Event;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            steps_per_thread: 2_000,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    #[test]
+    fn baseline_and_tracked_runs_count_identical_accesses() {
+        let spec = small_spec();
+        let opt = run_kind(EngineKind::Optimistic, &spec);
+        let hyb = run_kind(EngineKind::Hybrid, &spec);
+        let pess = run_kind(EngineKind::Pessimistic, &spec);
+        assert_eq!(opt.report.accesses(), hyb.report.accesses());
+        assert_eq!(opt.report.accesses(), pess.report.accesses());
+        assert!(opt.report.accesses() > 0);
+    }
+
+    #[test]
+    fn single_threaded_runs_are_heap_deterministic_across_engines() {
+        // With one thread there are no cross-thread dependences: every engine
+        // must produce the identical final heap.
+        let spec = WorkloadSpec {
+            threads: 1,
+            steps_per_thread: 3_000,
+            ..WorkloadSpec::default()
+        };
+        let base = run_kind(EngineKind::Baseline, &spec);
+        for kind in EngineKind::FIGURE7 {
+            let r = run_kind(kind, &spec);
+            assert_eq!(r.heap, base.heap, "{:?} diverged from baseline", kind);
+        }
+    }
+
+    #[test]
+    fn sync_inc_counts_exactly_under_every_sound_engine() {
+        let spec = sync_inc(4, 1_500);
+        for kind in [
+            EngineKind::Baseline,
+            EngineKind::Pessimistic,
+            EngineKind::Optimistic,
+            EngineKind::Hybrid,
+            EngineKind::HybridInfiniteCutoff,
+        ] {
+            let r = run_kind(kind, &spec);
+            assert!(r.heap[0] > 0);
+            // The counter value itself is a PRNG-mixed accumulator (not a
+            // plain count), so instead verify every access happened and the
+            // run completed with the lock serializing the read+write pairs:
+            assert_eq!(
+                r.report.accesses(),
+                if kind == EngineKind::Baseline { 0 } else { 4 * 1_500 * 2 },
+                "{kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn racy_inc_completes_under_every_engine() {
+        let spec = racy_inc(4, 1_000);
+        for kind in EngineKind::FIGURE7 {
+            let r = run_kind(kind, &spec);
+            assert_eq!(r.workload, "racyInc");
+            assert!(r.wall > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn conflict_cdf_is_monotone_and_bounded() {
+        let spec = WorkloadSpec {
+            racy_frac: 0.05,
+            steps_per_thread: 4_000,
+            ..WorkloadSpec::default()
+        };
+        let r = run_kind(EngineKind::Optimistic, &spec);
+        let mut prev = 0.0;
+        for x in [1, 2, 4, 8, 16, 64, 1024, u32::MAX] {
+            let y = r.conflict_cdf(x);
+            assert!(y >= prev, "CDF must be monotone");
+            assert!(y <= 1.0);
+            prev = y;
+        }
+        // The max-x CDF equals the overall explicit-conflict rate (modulo
+        // per-object saturation, which these sizes never hit).
+        let rate = r.report.explicit_conflict_rate();
+        assert!((r.conflict_cdf(u32::MAX) - rate).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hybrid_reduces_explicit_conflicts_on_hot_racy_workload() {
+        // The core claim of the paper, at workload scale: hybrid tracking
+        // converts repeated conflicts on hot objects into pessimistic
+        // transitions.
+        let spec = WorkloadSpec {
+            name: "hot-racy".into(),
+            racy_frac: 0.30,
+            hot_objects: 4,
+            local_work: 6,
+            steps_per_thread: 8_000,
+            ..WorkloadSpec::default()
+        };
+        let opt = run_kind(EngineKind::Optimistic, &spec);
+        let hyb = run_kind(EngineKind::Hybrid, &spec);
+        let opt_confl = opt.report.opt_conflicting();
+        let hyb_confl = hyb.report.opt_conflicting();
+        assert!(
+            hyb_confl * 2 < opt_confl,
+            "hybrid should cut conflicting transitions by well over half: opt={opt_confl} hyb={hyb_confl}"
+        );
+        assert!(hyb.report.opt_to_pess() >= 1);
+        assert!(hyb.report.pess_uncontended() > 0);
+    }
+
+    #[test]
+    fn drf_workload_has_no_contended_transitions() {
+        let spec = WorkloadSpec {
+            name: "drf".into(),
+            racy_frac: 0.0,
+            shared_read_frac: 0.0,
+            locked_frac: 0.10,
+            steps_per_thread: 5_000,
+            ..WorkloadSpec::default()
+        };
+        let hyb = run_kind(EngineKind::Hybrid, &spec);
+        assert_eq!(
+            hyb.report.get(Event::PessContended),
+            0,
+            "object-level DRF must imply contention-free deferred unlocking"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! Record & replay drivers over workload specs (Figure 9(a)'s harness).
+
+use drink_core::engine::hybrid::HybridConfig;
+use drink_core::prelude::*;
+use drink_replay::{Recorder, RecordingLog, ReplayEngine};
+
+use crate::driver::{run_workload, runtime_for, RunResult};
+use crate::spec::WorkloadSpec;
+
+/// Which recorder configuration to use (§4.1 vs. §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecorderKind {
+    /// The optimistic recorder: Octet tracking + coordination-derived edges.
+    Optimistic,
+    /// The hybrid recorder: hybrid tracking + release-clock edges for
+    /// pessimistic conflicting transitions.
+    Hybrid,
+}
+
+impl RecorderKind {
+    /// Configuration name, as stored in the log.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecorderKind::Optimistic => "optimistic",
+            RecorderKind::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// A recorded run: its measurements plus the happens-before log.
+#[derive(Clone, Debug)]
+pub struct RecordOutcome {
+    /// The recorded run's measurements (wall time, stats, final heap).
+    pub run: RunResult,
+    /// The recorded schedule.
+    pub log: RecordingLog,
+}
+
+/// Record one execution of `spec` under the given recorder.
+pub fn record(kind: RecorderKind, spec: &WorkloadSpec) -> RecordOutcome {
+    let rt = runtime_for(spec);
+    let recorder = Recorder::for_runtime(&rt, kind.name());
+    let run = match kind {
+        RecorderKind::Optimistic => {
+            let engine = OptimisticEngine::with_support(rt, recorder.clone());
+            run_workload(&engine, spec)
+        }
+        RecorderKind::Hybrid => {
+            let engine = HybridEngine::with_config(rt, recorder.clone(), HybridConfig::default());
+            run_workload(&engine, spec)
+        }
+    };
+    let log = recorder.into_log();
+    log.validate().expect("recorder produced a malformed log");
+    RecordOutcome { run, log }
+}
+
+/// Replay a recorded schedule of `spec`. `elide_sync` elides program
+/// synchronization (the paper's replayer; default true in [`replay`]).
+pub fn replay_with(spec: &WorkloadSpec, log: RecordingLog, elide_sync: bool) -> RunResult {
+    let rt = runtime_for(spec);
+    let engine = ReplayEngine::with_options(rt, log, elide_sync);
+    run_workload(&engine, spec)
+}
+
+/// Replay with synchronization elided (§7.6).
+pub fn replay(spec: &WorkloadSpec, log: RecordingLog) -> RunResult {
+    replay_with(spec, log, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{racy_inc, sync_inc};
+
+    fn assert_replay_reproduces(kind: RecorderKind, spec: &WorkloadSpec) {
+        let recorded = record(kind, spec);
+        let replayed = replay(spec, recorded.log.clone());
+        assert_eq!(
+            recorded.run.heap, replayed.heap,
+            "{} replay of {} diverged from the recorded heap",
+            kind.name(),
+            spec.name
+        );
+        // Replay again: still identical (replay is itself deterministic).
+        let replayed2 = replay(spec, recorded.log);
+        assert_eq!(replayed.heap, replayed2.heap);
+    }
+
+    #[test]
+    fn locked_workload_record_replay_hybrid() {
+        let spec = WorkloadSpec {
+            name: "rr-locked".into(),
+            threads: 4,
+            steps_per_thread: 3_000,
+            locked_frac: 0.10,
+            shared_read_frac: 0.05,
+            ..WorkloadSpec::default()
+        };
+        assert_replay_reproduces(RecorderKind::Hybrid, &spec);
+    }
+
+    #[test]
+    fn locked_workload_record_replay_optimistic() {
+        let spec = WorkloadSpec {
+            name: "rr-locked-opt".into(),
+            threads: 4,
+            steps_per_thread: 3_000,
+            locked_frac: 0.10,
+            shared_read_frac: 0.05,
+            ..WorkloadSpec::default()
+        };
+        assert_replay_reproduces(RecorderKind::Optimistic, &spec);
+    }
+
+    #[test]
+    fn racy_workload_record_replay_hybrid() {
+        // The acid test: data races everywhere, yet the log must pin down
+        // every cross-thread dependence.
+        let spec = WorkloadSpec {
+            name: "rr-racy".into(),
+            threads: 4,
+            steps_per_thread: 2_000,
+            racy_frac: 0.20,
+            hot_objects: 8,
+            locked_frac: 0.05,
+            shared_read_frac: 0.05,
+            ..WorkloadSpec::default()
+        };
+        assert_replay_reproduces(RecorderKind::Hybrid, &spec);
+    }
+
+    #[test]
+    fn racy_workload_record_replay_optimistic() {
+        let spec = WorkloadSpec {
+            name: "rr-racy-opt".into(),
+            threads: 4,
+            steps_per_thread: 2_000,
+            racy_frac: 0.20,
+            hot_objects: 8,
+            locked_frac: 0.05,
+            shared_read_frac: 0.05,
+            ..WorkloadSpec::default()
+        };
+        assert_replay_reproduces(RecorderKind::Optimistic, &spec);
+    }
+
+    #[test]
+    fn sync_inc_record_replay_both() {
+        let spec = sync_inc(4, 1_000);
+        assert_replay_reproduces(RecorderKind::Optimistic, &spec);
+        assert_replay_reproduces(RecorderKind::Hybrid, &spec);
+    }
+
+    #[test]
+    fn racy_inc_record_replay_both() {
+        let spec = racy_inc(4, 800);
+        assert_replay_reproduces(RecorderKind::Optimistic, &spec);
+        assert_replay_reproduces(RecorderKind::Hybrid, &spec);
+    }
+
+    #[test]
+    fn non_elided_replay_also_reproduces() {
+        let spec = sync_inc(4, 500);
+        let recorded = record(RecorderKind::Hybrid, &spec);
+        let replayed = replay_with(&spec, recorded.log, false);
+        assert_eq!(recorded.run.heap, replayed.heap);
+    }
+
+    #[test]
+    fn hybrid_recorder_uses_fewer_roundtrips_on_hot_workload() {
+        use drink_runtime::Event;
+        let spec = WorkloadSpec {
+            name: "rr-hot".into(),
+            threads: 4,
+            steps_per_thread: 6_000,
+            racy_frac: 0.25,
+            hot_objects: 4,
+            local_work: 6,
+            ..WorkloadSpec::default()
+        };
+        let opt = record(RecorderKind::Optimistic, &spec);
+        let hyb = record(RecorderKind::Hybrid, &spec);
+        let opt_rt = opt.run.report.get(Event::CoordinationRoundtrip);
+        let hyb_rt = hyb.run.report.get(Event::CoordinationRoundtrip);
+        assert!(
+            hyb_rt * 2 < opt_rt,
+            "hybrid recorder should coordinate far less: opt={opt_rt} hyb={hyb_rt}"
+        );
+    }
+}

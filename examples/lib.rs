@@ -1,0 +1,2 @@
+//! Shared helpers for the `drink` examples. The examples are standalone
+//! binaries; run them with e.g. `cargo run -p drink-examples --bin quickstart`.

@@ -1,0 +1,55 @@
+//! Object-level data-race detection (the paper's §2 "detect dependences"
+//! family, in the style of its reference \[39\]) as a third runtime-support
+//! client on hybrid tracking.
+//!
+//! Run: `cargo run --release -p drink-examples --bin race_detection`
+
+use drink_core::engine::hybrid::HybridConfig;
+use drink_core::prelude::*;
+use drink_race::RaceDetector;
+use drink_workloads::{run_workload, runtime_for, WorkloadSpec};
+
+fn main() {
+    // A program with a deliberate bug: most sharing is lock-protected, but
+    // 5% of steps touch four hot objects with no synchronization at all.
+    let spec = WorkloadSpec {
+        name: "buggy-app".into(),
+        threads: 4,
+        steps_per_thread: 40_000,
+        shared_objects: 64,
+        hot_objects: 4,
+        monitors: 4,
+        locked_frac: 0.05,
+        racy_frac: 0.05,
+        shared_read_frac: 0.10,
+        yield_every: 16,
+        ..WorkloadSpec::default()
+    };
+
+    let rt = runtime_for(&spec);
+    let detector = RaceDetector::for_runtime(&rt);
+    let engine = HybridEngine::with_config(rt, detector.clone(), HybridConfig::default());
+    let result = run_workload(&engine, &spec);
+
+    println!(
+        "ran {} accesses across {} threads in {:?}",
+        result.report.accesses(),
+        spec.threads,
+        result.wall
+    );
+    println!(
+        "objects flagged with object-level races: {:?}",
+        detector.racy_objects()
+    );
+    for r in detector.reports().iter().take(10) {
+        println!("  race on {} between {} and {}", r.obj, r.first, r.second);
+    }
+    assert!(detector
+        .racy_objects()
+        .iter()
+        .all(|o| (o.0 as usize) < spec.hot_objects));
+    println!("\nEvery report lands inside the unsynchronized hot set [0..4) —");
+    println!("no false positives on the lock-protected or read-only data, and");
+    println!("detection rode along on the tracking the recorder/enforcer");
+    println!("already needed (§2's premise).");
+}

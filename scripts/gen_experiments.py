@@ -1,0 +1,254 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from the files in results/."""
+import datetime
+
+def load(name):
+    with open(f'results/{name}.txt') as f:
+        lines = f.read().rstrip().split('\n')
+    return '\n'.join(lines[4:])
+
+doc = f"""# EXPERIMENTS — paper vs. measured
+
+Full regeneration of every table and figure in the paper's evaluation (§7),
+produced by `cargo run --release -p drink-bench --bin <experiment>` (see
+DESIGN.md's experiment index E1–E10). Raw outputs live in `results/`.
+
+**Host**: single CPU core (!), Linux, Rust 1.95 release build. The paper used
+a 32-core Xeon E5-4620 under Jikes RVM. Two consequences run through
+everything below:
+
+1. **Wall-clock numbers are shapes, not magnitudes.** We report a *model*
+   overhead alongside wall clock: measured transition counts priced at the
+   paper's own §2.2 cycle costs against a 200-cycle/access work budget. The
+   model number is platform-independent and is the primary basis for shape
+   comparison.
+2. **Two paper effects cannot materialize on one core**: pessimistic
+   tracking's remote-cache-miss cost (its CASes never ping-pong cache lines,
+   so its wall overhead is far below the paper's 340%), and spontaneous
+   fine-grained interleaving (the stress microbenchmarks insert explicit
+   yields to recover it; see E5).
+
+Single-run wall numbers on a busy 1-core box carry noise of roughly ±15
+percentage points; isolated outliers are flagged per experiment.
+
+---
+
+## E1 — §2.2 per-transition cost table
+
+```
+{load('cost_table')}
+```
+
+**Paper**: 150 / 47 / 9 200 / 360 cycles (pessimistic / same-state /
+explicit / implicit). **Agreement**: the ordering and the magnitude gaps
+reproduce — same-state is a few ns and the cheapest by far; pessimistic is an
+atomic-op multiple of it; implicit coordination costs a small constant more
+than pessimistic; explicit coordination is *orders of magnitude* above
+everything (here even more than the paper's ~196×, because a roundtrip on one
+core is two scheduler trips rather than a cache-line trip). This gap is the
+entire premise of the adaptive policy.
+
+## E2 — Figure 6, per-object conflict CDF (optimistic tracking)
+
+```
+{load('fig6_conflict_cdf')}
+```
+
+**Agreement**: the paper's two key readings hold. (1) For every program, the
+value at x = 4 is a tiny share of all accesses — so moving an object to
+pessimistic states after its 4th conflict wastes almost nothing. (2) For
+high-conflict programs (xalan6/9, pjbb2005, hsqldb6, avrora9) most conflicts
+sit far to the right (the x = 4 value is a small fraction of the maximum), so
+per-object profiling "catches" most conflicting accesses in advance — the
+§7.3 limit-study conclusion. Programs with conflict rate < 0.0001% are
+excluded, as in the paper.
+
+## E3 — Table 2, state transitions (hybrid vs. optimistic alone)
+
+```
+{load('table2_transitions')}
+```
+
+**Agreement** (counts are ~10³–10⁴× smaller than the paper's since the
+workloads are scaled; compare *ratios*):
+
+* the adaptive policy's primary goal — cutting conflicting transitions —
+  lands in the paper's 43–98% band for the high-conflict programs (roughly
+  −90% for hsqldb6, −95% for xalan6/9 here);
+* low-conflict programs (jython9, luindex9, lusearch6/9) are untouched, with
+  zero or near-zero pessimistic transitions — the policy never bothers them;
+* only a small fraction of same-state transitions become pessimistic, and a
+  meaningful share of pessimistic transitions is reentrant (atomic-op-free);
+* contended transitions concentrate in the racy programs (avrora9,
+  pjbb2005), exactly the paper's object-level-data-race attribution.
+
+Divergences: our %reentrant is generally below the paper's (our scaled
+workloads revisit locked objects fewer times per flush window), and
+avrora9's contended count is proportionally smaller (our racy accesses are
+calibrated to its *conflict* rate, not its contention rate).
+
+## E4 — Figure 7, tracking-alone overhead
+
+```
+{load('fig7_tracking_overhead')}
+```
+
+**Agreement** (cells are wall% / model%):
+
+* **hybrid lands on the paper's number**: hybrid's wall geomean ≈ the paper's
+  22% average, with the model value bracketing it;
+* **the headline reductions reproduce**: xalan6, xalan9 and pjbb2005 each
+  drop from ~180–200% under optimistic tracking to ~25–40% under hybrid
+  (paper: 65→24, 19→5, 110→49 — same direction, larger magnitudes because our
+  explicit roundtrips are relatively costlier, see E1);
+* **low-conflict programs are unharmed**, and `Hyb(∞)` (costs-only) tracks
+  optimistic within noise (paper: +2.3%);
+* **Ideal bounds hybrid from below** (paper 14 vs. 22);
+* **hsqldb6 is the known exception**: its conflicts are mostly implicit
+  (≈60% here), and implicit coordination costs about what a pessimistic
+  transition does, so hybrid helps it less than its conflict count suggests —
+  the paper makes exactly this point.
+
+Divergences: pessimistic tracking's wall geomean sits far below the paper's
+340% — on one core its CASes never incur remote cache misses. The model
+column (≈flat 75%) shows what the counts would cost at the paper's prices;
+the *insensitivity* of pessimistic tracking to conflict rates — the property
+the paper emphasizes — is clearly visible either way. sunflow9 runs hot for
+every engine (read-share-heavy profile; the paper also flags sunflow9 as its
+high-variance outlier), and isolated per-cell outliers are single-run noise.
+
+## E5 — Figure 8, syncInc / racyInc stress tests
+
+```
+{load('fig8_microbench')}
+```
+
+**Agreement**: `syncInc` is the paper's showcase and reproduces sharply —
+optimistic tracking collapses (≈1100% wall; the paper says ≈1200%) because
+every increment is a conflicting transition with roundtrip coordination,
+while hybrid moves the counter to pessimistic states and transfers ownership
+by CAS: ~20% wall, model ≈ the paper's 84%. Pessimistic tracking's wall
+number is a single-core artifact (see host note); its model value matches the
+paper's story that it behaves like hybrid here.
+
+`racyInc` is hybrid's worst case. The paper measured hybrid at ~3.5× the
+optimistic cost (4 300% vs 1 200%) because contended pessimistic transitions
+repeatedly re-coordinate; in our run hybrid lands *at* optimistic cost
+(~1 000%) rather than above it — our contended retry usually succeeds after
+one roundtrip on a single core, where the paper's 8 threads re-race on 32
+real cores. The qualitative claim that survives: hybrid provides *no
+benefit* under pervasive object-level races, and the §7.5 policy extension
+(contended-cutoff) keeps it at optimistic-equivalent cost.
+
+## E6 — Figure 9(a), dependence recorders and replayers
+
+```
+{load('fig9a_record_replay')}
+```
+
+**Agreement**: the hybrid recorder beats the optimistic recorder overall
+(paper: 41 vs. 46 geomean) with the gains concentrated exactly where the
+paper finds them — xalan6, xalan9, pjbb2005 all drop by 4–5×. Our gap is
+larger than the paper's because our explicit roundtrips are relatively
+costlier (E1). Replay overheads land in the 26–97% range; the hybrid
+replayer is not consistently slower than the optimistic one here (paper: 24
+vs. 20) since both of our replayers use the same clock machinery. Every row
+also re-asserts bit-identical replayed heaps — the harness doubles as a
+full-scale soundness check. (The paper's replayer fails on 2 of 13 programs;
+ours replays all 13.)
+
+## E7 — Figure 9(b), region serializability enforcers
+
+```
+{load('fig9b_rs_enforcer')}
+```
+
+**Agreement**: hybrid ≤ optimistic overall, with the big three again being
+xalan6, xalan9 and pjbb2005 (each roughly halved) — the paper's ordering
+(39 vs. 34, biggest wins on the same three programs). Restarts concentrate
+in the racy programs, mirroring the paper's contended-transition analysis.
+Absolute overheads are several × the paper's: our regions are driven through
+a closure-based API with per-region undo/access bookkeeping, where the
+paper's enforcer compiles specialized code into each region.
+
+## E8 — §7.3 adaptive-policy sensitivity
+
+```
+{load('e8_policy_sweep')}
+```
+
+**Agreement**: precisely the paper's conclusions. Cutoff_confl = 1–4 already
+eliminates ~95% of conflicting transitions; larger cutoffs give progressively
+less until ∞ (= optimistic behaviour); K_confl across 20–1 600 and Inertia
+across 20–1 600 barely move anything ("performance is not very sensitive to
+the other parameters").
+
+## E9 — §7.1 extraneous-contention ablation
+
+```
+{load('e9_wrex_rlock_ablation')}
+```
+
+**Agreement**: the paper's prototype omits `WrExRLock` (self-reads
+write-lock) and validates the omission with an unsound diagnostic. Our full
+model shows the same picture from the other side: the prototype encoding
+produces somewhat more contended transitions than the full model, and the
+unsound `RdExRLock` downgrade performs like the full model — i.e., the
+spurious contention the omission causes is real but minor, matching the
+paper's "not encountering significant spurious contention".
+
+## E10 — §3.1 deferred-unlocking ablation (beyond the paper's artifacts)
+
+```
+{load('e10_deferred_unlock_ablation')}
+```
+
+The paper's *initial design* unlocked pessimistic states eagerly after every
+access and "added significant overhead"; deferred unlocking is the §3.1
+insight that replaced it. Re-enacting the strawman shows why: eager unlocking
+performs thousands of extra per-access state releases (the `unlocks` column;
+deferred unlocking batches them at PSROs) and loses every reentrant
+transition. On `syncInc` the model gap is ~17 points; on the profile
+workloads pessimistic traffic is a smaller share of accesses so the gap is
+proportionally smaller — and the eager design additionally forfeits the
+hybrid *recorder* entirely (release-clock edges require flush points pinned
+to PSROs).
+
+## Workload calibration (supporting evidence, not a paper artifact)
+
+```
+{load('profiles_calibration')}
+```
+
+Every profile's explicit-conflict rate lands within roughly half an order of
+magnitude of the paper program it models (the `ratio` column), the
+{{low, mid, high, racy}} clustering is preserved, and hsqldb6 reproduces its
+implicit-heavy character (most of its conflicts resolve implicitly). This is
+what licenses the per-program comparisons above.
+
+---
+
+## Summary of claims checked
+
+| Paper claim | Status |
+|---|---|
+| Hybrid consistently outperforms pessimistic tracking | ✅ (model metric; wall too, with the single-core caveat on pessimistic costs) |
+| Hybrid ≫ optimistic for high-conflict programs (xalan6/9, pjbb2005) | ✅ 3–8× overhead reductions |
+| Hybrid ≈ optimistic for low-conflict programs | ✅ within noise |
+| Adaptive policy cuts conflicting transitions 43–98% on high-conflict programs | ✅ 90–95% here |
+| Per-object profiling catches most conflicts (Fig 6 limit study) | ✅ |
+| Policy insensitive to K_confl/Inertia; small Cutoff suffices | ✅ |
+| syncInc: hybrid ~15× cheaper than optimistic | ✅ (~50× here) |
+| racyInc: hybrid gains nothing (worst case) | ✅ (equal-cost rather than worse; single-core retry effect) |
+| hsqldb6 barely helped (implicit coordination) | ✅ helped less than its conflict reduction implies |
+| Hybrid recorder cheaper than optimistic recorder; same dependences | ✅ + bit-identical replays on all 13 programs |
+| Hybrid replayer slightly slower than optimistic replayer | ➖ not reproduced (shared clock machinery) |
+| Hybrid RS enforcer cheaper than optimistic RS enforcer, same win pattern | ✅ |
+| WrExRLock omission harmless (§7.1) | ✅ |
+| Deferred unlocking beats the initial eager design (§3.1) | ✅ structurally; model gap largest where pessimistic traffic is dense |
+| Pessimistic wall cost ≈ 340% | ❌ not reproducible on one core (model: flat, conflict-insensitive — the qualitative property — is reproduced) |
+
+*Generated {datetime.date.today().isoformat()} from the committed `results/` run.*
+"""
+open('EXPERIMENTS.md','w').write(doc)
+print("EXPERIMENTS.md written:", len(doc), "bytes")

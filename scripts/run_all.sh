@@ -1,0 +1,10 @@
+#!/bin/bash
+# Regenerate every table/figure of the paper into results/ (then run
+# scripts/gen_experiments.py to refresh EXPERIMENTS.md).
+cd /root/repo
+for bin in profiles_calibration cost_table fig6_conflict_cdf table2_transitions fig7_tracking_overhead fig8_microbench fig9a_record_replay fig9b_rs_enforcer e8_policy_sweep e9_wrex_rlock_ablation e10_deferred_unlock_ablation; do
+  echo "=== running $bin"
+  timeout 1200 ./target/release/$bin > results/$bin.txt 2>&1
+  echo "=== $bin done ($?)"
+done
+echo ALL_DONE

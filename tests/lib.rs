@@ -1,0 +1,219 @@
+//! Shared helpers for the workspace-level integration tests.
+//!
+//! The tests themselves live in `tests/tests/`; this library holds the
+//! vector-clock machinery used to verify recorder soundness independently of
+//! the replayer.
+
+use std::collections::HashMap;
+
+use drink_replay::RecordingLog;
+use drink_workloads::{Op, WorkloadSpec};
+
+/// A single access extracted from a spec's op streams.
+#[derive(Clone, Copy, Debug)]
+pub struct Access {
+    /// Executing thread (op-stream index = attached mutator id).
+    pub thread: usize,
+    /// The thread's deterministic op index for this access.
+    pub op: u64,
+    /// Object accessed.
+    pub obj: u32,
+    /// Write?
+    pub is_write: bool,
+}
+
+/// Extract every tracked access (with its op index) from a spec.
+pub fn accesses_of(spec: &WorkloadSpec) -> Vec<Access> {
+    let mut out = Vec::new();
+    for t in 0..spec.threads {
+        let mut op = 0u64;
+        for o in spec.ops(t) {
+            match o {
+                Op::Read(obj) => {
+                    out.push(Access { thread: t, op, obj: obj.0, is_write: false });
+                    op += 1;
+                }
+                Op::Write(obj) => {
+                    out.push(Access { thread: t, op, obj: obj.0, is_write: true });
+                    op += 1;
+                }
+                Op::Lock(_) | Op::Unlock(_) => op += 1,
+                Op::Work(_) | Op::Safepoint | Op::Yield => {}
+            }
+        }
+    }
+    out
+}
+
+/// Per-operation vector clocks induced by a recording log.
+///
+/// Simulates the replay semantics deterministically: per thread, ops run in
+/// order; pre-wait bumps apply before an op's waits, post-wait (transition)
+/// bumps after; each bump snapshots the thread's current vector clock, and a
+/// wait for `(src, v)` joins with the snapshot of `src`'s `v`-th bump.
+/// The returned table maps `(thread, op)` to the vector clock *at entry to
+/// the access* (component `t` = number of `t`-ops completed).
+pub struct HbClocks {
+    threads: usize,
+    /// clock[(t, op)] = VC at the access.
+    clocks: HashMap<(usize, u64), Vec<u64>>,
+}
+
+impl HbClocks {
+    /// Build clocks for `spec`'s op streams under `log`. Panics if the log
+    /// deadlocks (which `RecordingLog::validate` should have excluded).
+    pub fn build(spec: &WorkloadSpec, log: &RecordingLog) -> Self {
+        let n = spec.threads;
+        // Per-thread cursors and state.
+        struct St {
+            ops_total: u64,
+            op: u64,
+            vc: Vec<u64>,
+            pre_idx: usize,
+            post_idx: usize,
+            sink_idx: usize,
+            bump_snapshots: Vec<Vec<u64>>, // snapshot per bump, 1-based via index+1
+            phase: u8,                     // 0 = pre-bumps, 1 = waits, 2 = post-bumps+exec
+            done: bool,
+        }
+        let mut st: Vec<St> = (0..n)
+            .map(|t| {
+                let ops = spec
+                    .ops(t)
+                    .iter()
+                    .filter(|o| matches!(o, Op::Read(_) | Op::Write(_) | Op::Lock(_) | Op::Unlock(_)))
+                    .count() as u64;
+                St {
+                    ops_total: ops,
+                    op: 0,
+                    vc: vec![0; n],
+                    pre_idx: 0,
+                    post_idx: 0,
+                    sink_idx: 0,
+                    bump_snapshots: Vec::new(),
+                    phase: 0,
+                    done: false,
+                }
+            })
+            .collect();
+        let mut clocks = HashMap::new();
+
+        // Round-robin scheduler: a thread advances until it must wait on a
+        // bump that has not happened yet.
+        let mut progressed = true;
+        while progressed {
+            progressed = false;
+            for t in 0..n {
+                loop {
+                    // Split borrows: read the other threads' snapshots via raw
+                    // indexing before mutating st[t].
+                    if st[t].done {
+                        break;
+                    }
+                    let tl = &log.threads[t];
+                    let at_end = st[t].op >= st[t].ops_total;
+                    match st[t].phase {
+                        0 => {
+                            // Apply pre-bumps pinned ≤ current op.
+                            let op = st[t].op;
+                            if let Some(&(p, k)) = tl.sources_pre.get(st[t].pre_idx) {
+                                if p <= op || at_end {
+                                    for _ in 0..k {
+                                        let snap = st[t].vc.clone();
+                                        st[t].bump_snapshots.push(snap);
+                                    }
+                                    st[t].pre_idx += 1;
+                                    progressed = true;
+                                    continue;
+                                }
+                            }
+                            st[t].phase = 1;
+                            continue;
+                        }
+                        1 => {
+                            // Waits pinned at the current op.
+                            let op = st[t].op;
+                            let mut blocked = false;
+                            if let Some(entry) = tl.sinks.get(st[t].sink_idx) {
+                                if entry.op <= op && !at_end {
+                                    // All waits of this entry must be satisfiable.
+                                    let mut joins: Vec<Vec<u64>> = Vec::new();
+                                    for &(src, v) in &entry.waits {
+                                        let si = src.index();
+                                        if (st[si].bump_snapshots.len() as u64) < v {
+                                            blocked = true;
+                                            break;
+                                        }
+                                        joins.push(st[si].bump_snapshots[(v - 1) as usize].clone());
+                                    }
+                                    if !blocked {
+                                        for j in joins {
+                                            for (a, b) in st[t].vc.iter_mut().zip(&j) {
+                                                *a = (*a).max(*b);
+                                            }
+                                        }
+                                        st[t].sink_idx += 1;
+                                        progressed = true;
+                                        continue;
+                                    }
+                                } else {
+                                    st[t].phase = 2;
+                                    continue;
+                                }
+                            } else {
+                                st[t].phase = 2;
+                                continue;
+                            }
+                            if blocked {
+                                break; // try another thread
+                            }
+                        }
+                        _ => {
+                            // Post-bumps pinned ≤ current op, then execute.
+                            let op = st[t].op;
+                            if let Some(&(p, k)) = tl.sources_post.get(st[t].post_idx) {
+                                if p <= op || at_end {
+                                    for _ in 0..k {
+                                        let snap = st[t].vc.clone();
+                                        st[t].bump_snapshots.push(snap);
+                                    }
+                                    st[t].post_idx += 1;
+                                    progressed = true;
+                                    continue;
+                                }
+                            }
+                            if at_end {
+                                st[t].done = true;
+                                progressed = true;
+                                break;
+                            }
+                            // Execute op: record the entry clock, then advance.
+                            clocks.insert((t, op), st[t].vc.clone());
+                            st[t].vc[t] = op + 1;
+                            st[t].op += 1;
+                            st[t].phase = 0;
+                            progressed = true;
+                            continue;
+                        }
+                    }
+                }
+            }
+        }
+        for (t, s) in st.iter().enumerate() {
+            assert!(s.done, "T{t} deadlocked in the happens-before simulation");
+        }
+        HbClocks { threads: n, clocks }
+    }
+
+    /// Does access `a` happen before access `b` per the log?
+    pub fn ordered(&self, a: &Access, b: &Access) -> bool {
+        let vcb = &self.clocks[&(b.thread, b.op)];
+        // a completed before b starts iff b's entry clock covers a's op.
+        vcb[a.thread] > a.op
+    }
+
+    /// Number of threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}

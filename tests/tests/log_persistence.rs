@@ -1,0 +1,80 @@
+//! Recording logs are artifacts: they serialize, survive a round trip
+//! through JSON, and replay identically afterwards — the "record now,
+//! replay elsewhere/offline" use case of §4 (e.g. replication-based fault
+//! tolerance, offline debugging).
+
+use drink_replay::RecordingLog;
+use drink_workloads::{record, replay, RecorderKind, WorkloadSpec};
+
+fn racy_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "persist".into(),
+        threads: 4,
+        steps_per_thread: 1_500,
+        racy_frac: 0.15,
+        hot_objects: 6,
+        locked_frac: 0.05,
+        shared_read_frac: 0.05,
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn log_round_trips_through_json_and_replays() {
+    let spec = racy_spec();
+    let recorded = record(RecorderKind::Hybrid, &spec);
+
+    let json = serde_json::to_string(&recorded.log).expect("serialize");
+    let restored: RecordingLog = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(restored, recorded.log);
+    restored.validate().expect("restored log valid");
+
+    let replayed = replay(&spec, restored);
+    assert_eq!(recorded.run.heap, replayed.heap);
+}
+
+#[test]
+fn log_size_scales_with_dependences_not_accesses() {
+    // The recorder's selling point (§4.2): log size tracks cross-thread
+    // dependences, which are orders of magnitude rarer than accesses.
+    let spec = racy_spec();
+    let recorded = record(RecorderKind::Hybrid, &spec);
+    let accesses = recorded.run.report.accesses() as usize;
+    let edges = recorded.log.total_edges();
+    assert!(edges > 0);
+    assert!(
+        edges * 10 < accesses,
+        "log must be far smaller than the access count: {edges} edges vs {accesses} accesses"
+    );
+
+    // And a low-conflict run's log is near-empty.
+    let quiet = WorkloadSpec {
+        name: "persist-quiet".into(),
+        racy_frac: 0.0,
+        locked_frac: 0.0,
+        shared_read_frac: 0.0,
+        ..racy_spec()
+    };
+    let recorded = record(RecorderKind::Hybrid, &quiet);
+    assert!(
+        recorded.log.total_edges() <= 4,
+        "thread-local program should record almost nothing: {}",
+        recorded.log.total_edges()
+    );
+}
+
+#[test]
+fn both_recorders_produce_interchangeable_heaps() {
+    // The two recorders log different edges for the same program, but both
+    // logs replay the *same* recorded execution's heap (each its own).
+    let spec = racy_spec();
+    for kind in [RecorderKind::Optimistic, RecorderKind::Hybrid] {
+        let recorded = record(kind, &spec);
+        let replayed = replay(&spec, recorded.log);
+        assert_eq!(
+            recorded.run.heap, replayed.heap,
+            "{:?} log failed to reproduce its run",
+            kind
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! §7.6's synchronization-elision claim: "the replayer elides program
+//! synchronization operations and replays only the recorded dependences, so
+//! it can outperform baseline execution for programs dominated by
+//! coarse-grained, overly conservative synchronization" (the paper's
+//! pjbb2005 observation).
+
+use drink_workloads::{record, replay_with, run_kind, EngineKind, RecorderKind, WorkloadSpec};
+
+/// A program strangled by one fat lock: every step is a critical section on
+/// a single monitor with a long body, so the baseline spends its life
+/// parking and waking.
+fn fat_lock_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        name: "fat-lock".into(),
+        threads: 4,
+        steps_per_thread: 400,
+        shared_objects: 8,
+        hot_objects: 8,
+        local_objects: 8,
+        monitors: 1,
+        locked_frac: 1.0,
+        cs_len: 2,
+        cs_work: 2_000,
+        local_work: 0,
+        safepoint_every: 1,
+        monitor_spin: Some(4), // park quickly, like a fat lock
+        ..WorkloadSpec::default()
+    }
+}
+
+#[test]
+fn elided_replay_reproduces_and_skips_lock_parking() {
+    let spec = fat_lock_spec();
+    let recorded = record(RecorderKind::Hybrid, &spec);
+
+    let elided = replay_with(&spec, recorded.log.clone(), true);
+    assert_eq!(recorded.run.heap, elided.heap, "elided replay must reproduce");
+
+    let real_sync = replay_with(&spec, recorded.log, false);
+    assert_eq!(recorded.run.heap, real_sync.heap, "non-elided replay must reproduce");
+
+    // The directional claim (soft on wall clock, which is noisy on shared
+    // hosts): elision removes every monitor operation, so the elided replay
+    // should not be meaningfully slower than the lock-taking one.
+    let ratio = elided.wall.as_secs_f64() / real_sync.wall.as_secs_f64();
+    assert!(
+        ratio < 1.5,
+        "elided replay should not lose badly to real-lock replay: ratio {ratio:.2}"
+    );
+}
+
+#[test]
+fn elided_replay_of_fat_lock_program_is_competitive_with_baseline() {
+    // The paper's pjbb2005 effect. Medians over a few runs to shave noise.
+    let spec = fat_lock_spec();
+    let recorded = record(RecorderKind::Hybrid, &spec);
+
+    let mut baseline: Vec<_> = (0..3)
+        .map(|_| run_kind(EngineKind::Baseline, &spec).wall)
+        .collect();
+    baseline.sort();
+    let mut replayed: Vec<_> = (0..3)
+        .map(|_| replay_with(&spec, recorded.log.clone(), true).wall)
+        .collect();
+    replayed.sort();
+
+    let base = baseline[1].as_secs_f64();
+    let rep = replayed[1].as_secs_f64();
+    // Elision removes parking; the replay still performs all the CS work and
+    // the recorded waits. Allow generous slack — the assertion guards the
+    // *order of magnitude* claim, not a precise speedup.
+    assert!(
+        rep < base * 2.0,
+        "elided replay should be in the baseline's league for a fat-lock \
+         program: baseline {base:.4}s vs replay {rep:.4}s"
+    );
+    println!("baseline {base:.4}s, elided replay {rep:.4}s ({:.2}x)", rep / base);
+}
