@@ -1,0 +1,241 @@
+//! Hot-path microbenchmark for the three layers PR 1 touched:
+//!
+//! 1. **access fast paths** — the optimistic same-state check and the
+//!    pessimistic reentrant check (one relaxed/acquire load, no atomic RMW);
+//! 2. **per-thread bookkeeping** — the dense-bitmap read set / lock buffer
+//!    behind the reentrant path;
+//! 3. **coordination** — the lock-free request queue, both raw
+//!    (enqueue + drain) and end-to-end (explicit roundtrip against a
+//!    polling responder).
+//!
+//! Unlike the criterion benches (which auto-size their sample counts), this
+//! binary runs **fixed** iteration counts so runs are comparable across
+//! commits, and emits machine-readable `BENCH_hotpath.json` for the bench
+//! gate (`scripts/bench_gate.sh`).
+//!
+//! ```bash
+//! cargo run --release -p drink-bench --bin hotpath -- [out.json]
+//! ```
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use drink_core::engine::hybrid::{HybridConfig, HybridEngine};
+use drink_core::prelude::*;
+use drink_core::word::{LockMode, StateWord};
+use drink_runtime::{
+    CoordRequest, Heap, MonitorId, ObjId, ResponseToken, Runtime, RuntimeConfig, Spin,
+    ThreadControl, ThreadId,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    iters: u64,
+    ns_per_op: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    rows: Vec<Row>,
+}
+
+fn measure(name: &str, iters: u64, f: impl FnOnce()) -> Row {
+    let start = Instant::now();
+    f();
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters)");
+    Row {
+        name: name.to_string(),
+        iters,
+        ns_per_op: ns,
+    }
+}
+
+fn fresh_rt() -> Arc<Runtime> {
+    Arc::new(Runtime::new(RuntimeConfig::sized(2, 1024, 1)))
+}
+
+/// Layer 1a: optimistic same-state read/write (the common case of every
+/// tracked access — Figure 4's "same state" row).
+fn fast_path(rows: &mut Vec<Row>) {
+    const N: u64 = 20_000_000;
+    let engine = HybridEngine::new(fresh_rt());
+    let t = engine.attach();
+    engine.alloc_init(ObjId(0), t);
+    rows.push(measure("fast_path_opt_read", N, || {
+        for _ in 0..N {
+            black_box(engine.read(t, ObjId(0)));
+        }
+    }));
+    rows.push(measure("fast_path_opt_write", N, || {
+        for i in 0..N {
+            engine.write(t, ObjId(0), black_box(i));
+        }
+    }));
+    engine.detach(t);
+}
+
+/// Layers 1b+2: reentrant pessimistic accesses. The thread already holds the
+/// write lock, so every access is one state-word load plus (for reads of a
+/// read-locked object) a bitmap membership test — the path the dense
+/// `DenseObjSet` replaced a `HashSet` lookup on.
+fn reentrant_pess(rows: &mut Vec<Row>) {
+    const N: u64 = 20_000_000;
+    let engine = HybridEngine::new(fresh_rt());
+    let t = engine.attach();
+    // Unlocked own pessimistic state; the first write takes the write lock
+    // (entering the lock buffer), after which all accesses are reentrant.
+    engine
+        .rt()
+        .obj(ObjId(0))
+        .state()
+        .store(StateWord::wr_ex_pess(t, LockMode::Unlocked).0, Ordering::SeqCst);
+    engine.write(t, ObjId(0), 0);
+    rows.push(measure("reentrant_pess_write", N, || {
+        for i in 0..N {
+            engine.write(t, ObjId(0), black_box(i));
+        }
+    }));
+    rows.push(measure("reentrant_pess_read", N, || {
+        for _ in 0..N {
+            black_box(engine.read(t, ObjId(0)));
+        }
+    }));
+    // Flush the hold at a PSRO before detaching.
+    engine.lock(t, MonitorId(0));
+    engine.unlock(t, MonitorId(0));
+    engine.detach(t);
+}
+
+/// Layer 3a: the raw lock-free inbox — batched enqueue then drain, the
+/// pattern a responding safe point sees.
+fn queue_raw(rows: &mut Vec<Row>) {
+    const BATCH: u64 = 64;
+    const ROUNDS: u64 = 200_000;
+    let ctl = ThreadControl::new();
+    rows.push(measure("queue_enqueue_drain", BATCH * ROUNDS, || {
+        for _ in 0..ROUNDS {
+            for i in 0..BATCH {
+                ctl.enqueue_request(CoordRequest {
+                    from: ThreadId(1),
+                    obj: Some(ObjId(i as u32)),
+                    token: ResponseToken::new(),
+                });
+            }
+            let reqs = ctl.take_requests();
+            debug_assert_eq!(reqs.len(), BATCH as usize);
+            black_box(reqs);
+        }
+    }));
+}
+
+/// Layer 3b: full explicit coordination roundtrip — conflicting write
+/// against a RUNNING thread that answers at its next safe-point poll
+/// (enqueue, flag, poll, drain, respond, token spin).
+fn explicit_roundtrip(rows: &mut Vec<Row>) {
+    const N: u64 = 50_000;
+    // Infinite cutoff: conflicts never push the object pessimistic, so every
+    // iteration exercises the same optimistic-conflict roundtrip.
+    let engine = HybridEngine::with_config(
+        fresh_rt(),
+        NullSupport,
+        HybridConfig::infinite_cutoff(),
+    );
+    let ready = AtomicBool::new(false);
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let engine = &engine;
+        let ready = &ready;
+        let done = &done;
+
+        // Responder: owns the object, polls safe points in a tight loop.
+        s.spawn(move || {
+            let tb = engine.attach();
+            engine.alloc_init(ObjId(0), tb);
+            ready.store(true, Ordering::Release);
+            while !done.load(Ordering::Acquire) {
+                engine.safepoint(tb);
+                // Yield between polls: on a single-core host a tight poll
+                // loop would otherwise burn its whole scheduler quantum
+                // while the requester waits, measuring the OS timeslice
+                // instead of the coordination protocol.
+                std::thread::yield_now();
+            }
+            engine.detach(tb);
+        });
+
+        let mut spin = Spin::new("responder ready");
+        while !ready.load(Ordering::Acquire) {
+            spin.spin();
+        }
+        let ta = engine.attach();
+        let responder = ThreadId(0);
+        rows.push(measure("explicit_roundtrip", N, || {
+            for i in 0..N {
+                // Hand the object back to the responder, then conflict.
+                engine
+                    .rt()
+                    .obj(ObjId(0))
+                    .state()
+                    .store(StateWord::wr_ex_opt(responder).0, Ordering::SeqCst);
+                engine.write(ta, ObjId(0), black_box(i));
+            }
+        }));
+        done.store(true, Ordering::Release);
+        engine.detach(ta);
+    });
+}
+
+/// Layer 2b: header addressing under both heap layouts — the branch-free
+/// base + stride computation behind every tracked access.
+fn heap_layouts(rows: &mut Vec<Row>) {
+    const N: u64 = 20_000_000;
+    for (label, padded) in [("heap_obj_compact", false), ("heap_obj_padded", true)] {
+        let heap = Heap::with_layout(1024, padded);
+        rows.push(measure(label, N, || {
+            let mut acc = 0u64;
+            for i in 0..N {
+                // Strided walk so the index math can't be hoisted.
+                let o = ObjId(((i * 7) % 1024) as u32);
+                acc = acc.wrapping_add(heap.obj(o).data_read());
+            }
+            black_box(acc);
+        }));
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    // Fail on an unwritable path now, not after minutes of measurement.
+    if let Err(e) = std::fs::write(&out, "") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+
+    let mut rows = Vec::new();
+    fast_path(&mut rows);
+    reentrant_pess(&mut rows);
+    queue_raw(&mut rows);
+    explicit_roundtrip(&mut rows);
+    heap_layouts(&mut rows);
+
+    let report = Report {
+        schema: "drink-bench/hotpath/v1".to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out}");
+}

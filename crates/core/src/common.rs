@@ -38,15 +38,24 @@ pub struct EngineCommon<S: Support> {
     /// The adaptive policy (only the hybrid engine consults it on accesses,
     /// but flushes are shared).
     pub policy: AdaptivePolicy,
-    per_thread: Box<[OwnedByThread<ThreadState>]>,
+    /// One slot per mutator, each padded to its own cache line so thread
+    /// A's hot bookkeeping (lock buffer, stats) never false-shares with
+    /// thread B's.
+    per_thread: Box<[drink_runtime::CachePadded<OwnedByThread<ThreadState>>]>,
 }
 
 impl<S: Support> EngineCommon<S> {
     /// Build engine state for `rt`.
     pub fn new(rt: Arc<Runtime>, support: S, policy: AdaptivePolicy) -> Self {
         let n = rt.config().max_threads;
+        let heap_objects = rt.config().heap_objects;
         let per_thread = (0..n)
-            .map(|i| OwnedByThread::new(ThreadState::new(ThreadId(i as u16))))
+            .map(|i| {
+                drink_runtime::CachePadded::new(OwnedByThread::new(ThreadState::new(
+                    ThreadId(i as u16),
+                    heap_objects,
+                )))
+            })
             .collect::<Vec<_>>()
             .into_boxed_slice();
         EngineCommon {
@@ -87,7 +96,7 @@ impl<S: Support> EngineCommon<S> {
         self.per_thread[t.index()].reset_owner();
         // SAFETY: we are the thread that just claimed this slot.
         unsafe {
-            *self.per_thread[t.index()].get() = ThreadState::new(t);
+            *self.per_thread[t.index()].get() = ThreadState::new(t, self.rt.config().heap_objects);
         }
         t
     }
@@ -135,11 +144,18 @@ impl<S: Support> EngineCommon<S> {
         // the future, and re-entrant pushes into a borrowed Vec would be UB.
         let mut buffer = std::mem::take(&mut ts.lock_buffer);
         for &o in &buffer {
+            // Clear the membership bitmaps entry-by-entry: rd_set ⊆ locked ⊆
+            // buffer, so this is O(|buffer|), never O(heap).
+            ts.locked.remove(o.0);
+            ts.rd_set.remove(o.0);
             self.unlock_one_object(ts, o);
         }
         buffer.clear();
         ts.lock_buffer = buffer;
-        ts.rd_set.clear();
+        debug_assert!(
+            ts.rd_set.is_empty() && ts.locked.is_empty(),
+            "object-set bitmaps out of sync with the lock buffer"
+        );
     }
 
     /// Unlock this thread's hold on object `o` (one flush step).
@@ -425,7 +441,7 @@ mod tests {
         e.rt.obj(o)
             .state()
             .store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::SeqCst);
-        ts.lock_buffer.push(o);
+        ts.push_lock(o);
         e.flush_lock_buffer(ts);
         let w = StateWord(e.rt.obj(o).state().load(Ordering::SeqCst));
         assert_eq!(w, StateWord::wr_ex_pess(t, LockMode::Unlocked));
@@ -441,8 +457,7 @@ mod tests {
         e.rt.obj(o)
             .state()
             .store(StateWord::rd_sh_pess(7, 3).0, Ordering::SeqCst);
-        ts.lock_buffer.push(o);
-        ts.rd_set.insert(o.0);
+        ts.push_read_lock(o);
         e.flush_lock_buffer(ts);
         let w = StateWord(e.rt.obj(o).state().load(Ordering::SeqCst));
         assert_eq!(w, StateWord::rd_sh_pess(7, 2), "only this thread's share released");
@@ -473,7 +488,7 @@ mod tests {
         e.policy.on_pess_transition(obj.profile(), false, false);
         assert_eq!(AdaptivePolicy::profile(obj.profile()).phase, Phase::OptFinal);
 
-        ts.lock_buffer.push(o);
+        ts.push_lock(o);
         e.flush_lock_buffer(ts);
         let w = StateWord(obj.state().load(Ordering::SeqCst));
         assert_eq!(w, StateWord::wr_ex_opt(t), "unlock transfers to optimistic");
@@ -490,8 +505,7 @@ mod tests {
         e.rt.obj(o)
             .state()
             .store(StateWord::rd_ex_pess(t, LockMode::Read).0, Ordering::SeqCst);
-        ts.lock_buffer.push(o);
-        ts.rd_set.insert(o.0);
+        ts.push_read_lock(o);
 
         let token = drink_runtime::ResponseToken::new();
         e.rt.control(t).enqueue_request(drink_runtime::CoordRequest {

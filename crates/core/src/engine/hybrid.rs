@@ -231,16 +231,12 @@ impl<S: Support> HybridEngine<S> {
     /// and release the hold immediately.
     #[cold]
     fn eager_unlock_now(&self, ts: &mut ThreadState, o: ObjId) {
-        // The acquisition paths push at most one buffer entry per access;
-        // with eager unlocking the buffer never holds more than that.
-        if let Some(pos) = ts.lock_buffer.iter().rposition(|&x| x == o) {
-            ts.lock_buffer.swap_remove(pos);
-        } else {
-            // Reentrant-free invariant: an in-place upgrade (RLock→WLock)
-            // re-locks an object whose entry was already consumed; nothing
-            // to pop, but the state still needs releasing below.
-        }
-        ts.rd_set.remove(&o.0);
+        // O(1) bitmap membership decides whether there is an entry to pop;
+        // if absent (an in-place RLock→WLock upgrade re-locking an object
+        // whose entry was already consumed) there is nothing to pop, but the
+        // state still needs releasing below.
+        ts.remove_lock(o);
+        ts.rd_set.remove(o.0);
         let state = self.common.rt.obj(o).state();
         let mut cur = state.load(Ordering::Acquire);
         loop {
@@ -336,7 +332,7 @@ impl<S: Support> HybridEngine<S> {
                 self.finish_opt_conflict(ts, o, mode, true);
                 if to_pess {
                     state.store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::Release);
-                    ts.lock_buffer.push(o);
+                    ts.push_lock(o);
                     ts.stats.bump(Event::OptToPess);
                     if self.cfg.eager_unlock {
                         self.eager_unlock_now(ts, o);
@@ -368,7 +364,7 @@ impl<S: Support> HybridEngine<S> {
                         self.emit_pess_acquire(ts, o, true);
                     }
                     self.common.publish(state, final_w);
-                    ts.lock_buffer.push(o);
+                    ts.push_lock(o);
                     self.bump_pess(ts, o, conflicting, contended);
                     return true;
                 }
@@ -396,7 +392,7 @@ impl<S: Support> HybridEngine<S> {
                     .is_ok()
                 {
                     // Already in the lock buffer from the read-lock.
-                    ts.rd_set.remove(&o.0);
+                    ts.rd_set.remove(o.0);
                     ts.stats.bump(Event::PessUncontended);
                     self.common
                         .policy
@@ -408,14 +404,14 @@ impl<S: Support> HybridEngine<S> {
                 }
                 continue;
             }
-            if w.kind() == Kind::RdSh && w.read_locks() == 1 && ts.rd_set.contains(&o.0) {
+            if w.kind() == Kind::RdSh && w.read_locks() == 1 && ts.rd_set.contains(o.0) {
                 // I am the sole read-locker: upgrade in place (keeps
                 // two-phase locking intact for the RS enforcer; no other
                 // thread can be mid-access since pessimistic readers must
                 // lock).
                 let final_w = StateWord::wr_ex_pess(t, LockMode::Write);
                 if self.common.claim(state, cur, t, final_w) {
-                    ts.rd_set.remove(&o.0);
+                    ts.rd_set.remove(o.0);
                     // Write after other threads' past reads: conservative
                     // clock edges to everyone.
                     self.read_sources_all(ts);
@@ -546,8 +542,7 @@ impl<S: Support> HybridEngine<S> {
                                 StateWord::rd_ex_pess(t, LockMode::Read).0,
                                 Ordering::Release,
                             );
-                            ts.lock_buffer.push(o);
-                            ts.rd_set.insert(o.0);
+                            ts.push_read_lock(o);
                             ts.stats.bump(Event::OptToPess);
                             if self.cfg.eager_unlock {
                                 self.eager_unlock_now(ts, o);
@@ -577,7 +572,7 @@ impl<S: Support> HybridEngine<S> {
                 self.bump_reentrant(ts, o);
                 return;
             }
-            if w.kind() == Kind::RdSh && ts.rd_set.contains(&o.0) {
+            if w.kind() == Kind::RdSh && ts.rd_set.contains(o.0) {
                 // RdShRLock(n) R by T with o ∈ T.rdSet → same (reentrant).
                 self.bump_reentrant(ts, o);
                 return;
@@ -601,8 +596,7 @@ impl<S: Support> HybridEngine<S> {
                         )
                         .is_ok()
                     {
-                        ts.lock_buffer.push(o);
-                        ts.rd_set.insert(o.0);
+                        ts.push_read_lock(o);
                         self.note_rdsh_read(ts, o, c);
                         self.bump_pess(ts, o, false, contended);
                         return;
@@ -630,8 +624,7 @@ impl<S: Support> HybridEngine<S> {
                             },
                         );
                         self.common.publish(state, final_w);
-                        ts.lock_buffer.push(o);
-                        ts.rd_set.insert(o.0);
+                        ts.push_read_lock(o);
                         // A read of WrExRLock conflicts with T1's write under
                         // the cost model; of RdExRLock it does not.
                         let conflicting = w.kind() == Kind::WrEx;
@@ -682,9 +675,10 @@ impl<S: Support> HybridEngine<S> {
                         .support
                         .on_transition(cx, o, TransitionEv::PessLocalAcquire);
                     self.common.publish(state, target);
-                    ts.lock_buffer.push(o);
                     if target.lock_mode() == LockMode::Read {
-                        ts.rd_set.insert(o.0);
+                        ts.push_read_lock(o);
+                    } else {
+                        ts.push_lock(o);
                     }
                     self.bump_pess(ts, o, false, contended);
                     return true;
@@ -700,8 +694,7 @@ impl<S: Support> HybridEngine<S> {
                     self.read_source_one(ts, prev_owner);
                     self.emit_pess_acquire(ts, o, false);
                     self.common.publish(state, final_w);
-                    ts.lock_buffer.push(o);
-                    ts.rd_set.insert(o.0);
+                    ts.push_read_lock(o);
                     self.bump_pess(ts, o, true, contended);
                     return true;
                 }
@@ -716,8 +709,7 @@ impl<S: Support> HybridEngine<S> {
                         .support
                         .on_transition(cx, o, TransitionEv::PessLocalAcquire);
                     self.common.publish(state, final_w);
-                    ts.lock_buffer.push(o);
-                    ts.rd_set.insert(o.0);
+                    ts.push_read_lock(o);
                     self.bump_pess(ts, o, false, contended);
                     return true;
                 }
@@ -742,8 +734,7 @@ impl<S: Support> HybridEngine<S> {
                         },
                     );
                     self.common.publish(state, final_w);
-                    ts.lock_buffer.push(o);
-                    ts.rd_set.insert(o.0);
+                    ts.push_read_lock(o);
                     self.bump_pess(ts, o, false, contended);
                     return true;
                 }
@@ -761,8 +752,7 @@ impl<S: Support> HybridEngine<S> {
                     )
                     .is_ok()
                 {
-                    ts.lock_buffer.push(o);
-                    ts.rd_set.insert(o.0);
+                    ts.push_read_lock(o);
                     self.note_rdsh_read(ts, o, c);
                     self.bump_pess(ts, o, false, contended);
                     return true;

@@ -19,9 +19,98 @@
 //! debug builds) to come from the thread that first claimed the slot.
 
 use std::cell::UnsafeCell;
-use std::collections::HashSet;
 
 use drink_runtime::{LocalStats, ObjId, ThreadId};
+
+/// A dense bitmap over `ObjId`s with an O(1) element count.
+///
+/// `ObjId`s are dense indices into a fixed-size heap, so per-thread object
+/// sets (the read set, lock-buffer membership) don't need hashing: membership
+/// is one shift+mask into a bitmap sized to the heap. Compared to the
+/// `HashSet<u32>` it replaces, `contains` on the reentrancy fast path is a
+/// single indexed load with no SipHash.
+///
+/// The set count is tracked so `is_empty`/`len` are O(1); clearing is done
+/// by the owner removing exactly the ids it inserted (O(inserted), not
+/// O(heap)).
+#[derive(Debug, Default)]
+pub struct DenseObjSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl DenseObjSet {
+    /// An empty set sized for ids `0..capacity_objects`. Inserting beyond
+    /// the capacity grows the bitmap (ids are heap indices, so this only
+    /// happens if a workload outgrows its declared heap).
+    pub fn with_capacity(capacity_objects: usize) -> Self {
+        DenseObjSet {
+            words: vec![0; capacity_objects.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    #[inline(always)]
+    fn split(id: u32) -> (usize, u64) {
+        ((id as usize) >> 6, 1u64 << (id & 63))
+    }
+
+    /// O(1) membership test; ids beyond capacity are simply absent.
+    #[inline(always)]
+    pub fn contains(&self, id: u32) -> bool {
+        let (w, bit) = Self::split(id);
+        match self.words.get(w) {
+            Some(word) => word & bit != 0,
+            None => false,
+        }
+    }
+
+    /// Insert `id`; returns true if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        let (w, bit) = Self::split(id);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let word = &mut self.words[w];
+        let fresh = *word & bit == 0;
+        *word |= bit;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Remove `id`; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: u32) -> bool {
+        let (w, bit) = Self::split(id);
+        match self.words.get_mut(w) {
+            Some(word) if *word & bit != 0 => {
+                *word &= !bit;
+                self.len -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of ids in the set (O(1)).
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no ids are set (O(1)).
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Remove every id (O(capacity); prefer per-id `remove` on hot paths).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+}
 
 /// A cell that is shared between threads structurally but owned by exactly
 /// one thread dynamically.
@@ -99,10 +188,17 @@ pub struct ThreadState {
     /// Octet's `T.rdShCount`: the largest RdSh counter value this thread has
     /// fenced against.
     pub rd_sh_count: u64,
-    /// Pessimistic objects whose states this thread currently holds locked.
+    /// Pessimistic objects whose states this thread currently holds locked,
+    /// in acquisition order (flush order matters to runtime support).
     pub lock_buffer: Vec<ObjId>,
+    /// Membership bitmap mirroring `lock_buffer`, so "do I hold this
+    /// object?" never scans the Vec. Maintained by
+    /// [`ThreadState::push_lock`]/[`ThreadState::remove_lock`] and cleared
+    /// entry-by-entry at flush.
+    pub locked: DenseObjSet,
     /// Objects this thread has read-locked (`T.rdSet`), for reentrancy.
-    pub rd_set: HashSet<u32>,
+    /// A subset of `locked`.
+    pub rd_set: DenseObjSet,
     /// Deterministic position counter: incremented once per program
     /// operation (access or synchronization op). Recorders pin happens-before
     /// sources and sinks to these positions.
@@ -116,23 +212,58 @@ pub struct ThreadState {
 }
 
 impl ThreadState {
-    /// Fresh state for mutator `tid`.
-    pub fn new(tid: ThreadId) -> Self {
+    /// Fresh state for mutator `tid`, with object sets sized to the heap.
+    pub fn new(tid: ThreadId, heap_objects: usize) -> Self {
         ThreadState {
             tid,
             rd_sh_count: 0,
             lock_buffer: Vec::with_capacity(64),
-            rd_set: HashSet::with_capacity(64),
+            locked: DenseObjSet::with_capacity(heap_objects),
+            rd_set: DenseObjSet::with_capacity(heap_objects),
             op_index: 0,
             src_scratch: Vec::with_capacity(8),
             stats: LocalStats::new(),
         }
     }
 
+    /// Record that this thread locked `o`'s state: one buffer push plus one
+    /// bitmap bit.
+    #[inline(always)]
+    pub fn push_lock(&mut self, o: ObjId) {
+        self.lock_buffer.push(o);
+        self.locked.insert(o.0);
+    }
+
+    /// [`ThreadState::push_lock`] for a read lock: also enters `o` into the
+    /// read set that makes repeated reads reentrant.
+    #[inline(always)]
+    pub fn push_read_lock(&mut self, o: ObjId) {
+        self.lock_buffer.push(o);
+        self.locked.insert(o.0);
+        self.rd_set.insert(o.0);
+    }
+
+    /// Drop `o` from the lock buffer if present (eager-unlock ablation
+    /// path). The bitmap check makes the common "nothing to pop" case O(1);
+    /// the Vec scan only runs when the entry exists, and the buffer holds at
+    /// most a handful of entries under eager unlocking.
+    pub fn remove_lock(&mut self, o: ObjId) -> bool {
+        if !self.locked.remove(o.0) {
+            return false;
+        }
+        let pos = self
+            .lock_buffer
+            .iter()
+            .rposition(|&x| x == o)
+            .expect("locked bitmap said present but lock_buffer has no entry");
+        self.lock_buffer.swap_remove(pos);
+        true
+    }
+
     /// True if this thread holds no pessimistic locks (invariant at blocking
     /// safe points: the buffer is always flushed before blocking).
     pub fn holds_no_locks(&self) -> bool {
-        self.lock_buffer.is_empty() && self.rd_set.is_empty()
+        self.lock_buffer.is_empty() && self.rd_set.is_empty() && self.locked.is_empty()
     }
 }
 
@@ -188,9 +319,52 @@ mod tests {
 
     #[test]
     fn fresh_thread_state_holds_no_locks() {
-        let ts = ThreadState::new(ThreadId(3));
+        let ts = ThreadState::new(ThreadId(3), 64);
         assert!(ts.holds_no_locks());
         assert_eq!(ts.rd_sh_count, 0);
         assert_eq!(ts.op_index, 0);
+    }
+
+    #[test]
+    fn dense_obj_set_basics() {
+        let mut s = DenseObjSet::with_capacity(100);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(s.insert(63));
+        assert!(s.insert(64));
+        assert!(s.insert(99));
+        assert!(!s.insert(63), "double insert is not fresh");
+        assert_eq!(s.len(), 4);
+        assert!(s.contains(64) && s.contains(99));
+        assert!(!s.contains(65));
+        assert!(s.remove(63));
+        assert!(!s.remove(63));
+        assert_eq!(s.len(), 3);
+        s.clear();
+        assert!(s.is_empty() && !s.contains(0));
+    }
+
+    #[test]
+    fn dense_obj_set_grows_beyond_capacity() {
+        let mut s = DenseObjSet::with_capacity(4);
+        assert!(!s.contains(1000));
+        assert!(s.insert(1000));
+        assert!(s.contains(1000));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn push_and_remove_lock_keep_bitmap_in_sync() {
+        let mut ts = ThreadState::new(ThreadId(0), 32);
+        ts.push_lock(ObjId(3));
+        ts.push_read_lock(ObjId(7));
+        assert!(ts.locked.contains(3) && ts.locked.contains(7));
+        assert!(!ts.rd_set.contains(3) && ts.rd_set.contains(7));
+        assert!(!ts.holds_no_locks());
+        assert!(ts.remove_lock(ObjId(3)));
+        assert!(!ts.remove_lock(ObjId(3)), "second removal is a no-op");
+        assert!(!ts.locked.contains(3));
+        assert_eq!(ts.lock_buffer, vec![ObjId(7)]);
     }
 }

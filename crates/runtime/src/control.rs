@@ -9,8 +9,10 @@
 //!   wakes. A requester that finds the thread running coordinates
 //!   **explicitly** by enqueuing a request and spinning on a response token
 //!   until the remote thread reaches a safe point;
-//! * a **request queue** with a lock-free `has_requests` flag so the safe
-//!   point poll on the fast path is a single relaxed load;
+//! * a **lock-free request queue** (Treiber-stack push, owner-side
+//!   detach-and-reverse drain) with a `has_requests` flag so the safe point
+//!   poll on the fast path is a single relaxed load and neither side ever
+//!   blocks on a lock;
 //! * a **release clock**, incremented at every program synchronization
 //!   release operation and responding safe point. The hybrid dependence
 //!   recorder (§4.2) reads remote threads' release clocks to name the source
@@ -21,11 +23,9 @@
 //! flight), so a successful implicit epoch CAS proves the remote thread
 //! cannot be between its instrumentation and its access.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use crate::ids::ThreadId;
 
@@ -115,12 +115,34 @@ pub struct CoordRequest {
     pub token: Arc<ResponseToken>,
 }
 
+/// Node of the lock-free request inbox. Allocated by the requester,
+/// reclaimed by the draining owner (or by `Drop`).
+struct InboxNode {
+    req: CoordRequest,
+    next: *mut InboxNode,
+}
+
 /// Cross-thread-visible control state of one mutator thread.
+///
+/// Cache-line-aligned (two lines, matching crossbeam's `CachePadded` on
+/// x86_64, where adjacent-line prefetching makes 128 the effective
+/// false-sharing granularity): neighboring threads' control blocks live in a
+/// dense array in [`crate::runtime::Runtime`], and a requester spinning on
+/// one thread's status word must not steal the line under another thread's
+/// release-clock bumps.
+///
+/// # Request queue
+///
+/// The explicit-request inbox is a Treiber stack: requesters push with one
+/// CAS, the owning thread detaches the whole list with one `swap` at a safe
+/// point and reverses it to recover FIFO arrival order. No lock is ever
+/// taken on either side.
 #[derive(Debug)]
+#[repr(align(128))]
 pub struct ThreadControl {
     status: AtomicU64,
     has_requests: AtomicBool,
-    requests: Mutex<VecDeque<CoordRequest>>,
+    inbox: AtomicPtr<InboxNode>,
     release_clock: AtomicU64,
 }
 
@@ -136,7 +158,7 @@ impl ThreadControl {
         ThreadControl {
             status: AtomicU64::new(encode(false, 0)),
             has_requests: AtomicBool::new(false),
-            requests: Mutex::new(VecDeque::new()),
+            inbox: AtomicPtr::new(ptr::null_mut()),
             release_clock: AtomicU64::new(0),
         }
     }
@@ -201,11 +223,35 @@ impl ThreadControl {
 
     // --- Explicit request queue ---
 
-    /// Requester side: enqueue an explicit request. The `has_requests` flag
-    /// is set (SeqCst) after the push so the remote thread's cheap poll
-    /// cannot miss it.
+    /// Requester side: enqueue an explicit request — one allocation plus one
+    /// CAS, never a lock. The `has_requests` flag is set (SeqCst) after the
+    /// push so the remote thread's cheap poll cannot miss it.
+    ///
+    /// Ordering: the push CAS is Release, so the node's contents (and
+    /// everything the requester did before enqueuing) happen-before the
+    /// owner's Acquire detach in [`ThreadControl::take_requests`]. The
+    /// lost-wakeup race is closed by the *flag*, not the stack: flag-set
+    /// (SeqCst, after push) vs. flag-clear (SeqCst, before detach) means a
+    /// concurrently pushed request is either seen by the current drain or
+    /// leaves the flag true for the next poll. A spuriously true flag over an
+    /// already-drained stack only costs an empty detach.
     pub fn enqueue_request(&self, req: CoordRequest) {
-        self.requests.lock().push_back(req);
+        let node = Box::into_raw(Box::new(InboxNode {
+            req,
+            next: ptr::null_mut(),
+        }));
+        let mut head = self.inbox.load(Ordering::Relaxed);
+        loop {
+            // Safety: `node` is not yet published; we have exclusive access.
+            unsafe { (*node).next = head };
+            match self
+                .inbox
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => head = actual,
+            }
+        }
         self.has_requests.store(true, Ordering::SeqCst);
     }
 
@@ -216,16 +262,27 @@ impl ThreadControl {
         self.has_requests.load(Ordering::Relaxed)
     }
 
-    /// Owning thread: drain all pending requests. Clears the flag before
-    /// draining, so a request enqueued concurrently is either drained now or
-    /// re-flags for the next poll.
+    /// Owning thread: drain all pending requests without taking a lock —
+    /// one `swap` detaches the whole stack, then the (thread-local) list is
+    /// reversed to FIFO arrival order. Clears the flag before detaching, so
+    /// a request enqueued concurrently is either drained now or re-flags for
+    /// the next poll.
     pub fn take_requests(&self) -> Vec<CoordRequest> {
         if !self.has_pending_requests() {
             return Vec::new();
         }
         self.has_requests.store(false, Ordering::SeqCst);
-        let mut q = self.requests.lock();
-        q.drain(..).collect()
+        let mut head = self.inbox.swap(ptr::null_mut(), Ordering::Acquire);
+        let mut out = Vec::new();
+        while !head.is_null() {
+            // Safety: the swap made this list exclusively ours; nodes were
+            // fully initialized before their Release publication.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+            out.push(node.req);
+        }
+        out.reverse();
+        out
     }
 
     // --- Release clock ---
@@ -241,6 +298,19 @@ impl ThreadControl {
     #[inline]
     pub fn release_clock(&self) -> u64 {
         self.release_clock.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for ThreadControl {
+    fn drop(&mut self) {
+        // Reclaim any requests that were never answered (e.g. a panicking
+        // run tearing the runtime down mid-coordination).
+        let mut head = *self.inbox.get_mut();
+        while !head.is_null() {
+            // Safety: &mut self means no concurrent pushers remain.
+            let node = unsafe { Box::from_raw(head) };
+            head = node.next;
+        }
     }
 }
 
@@ -321,6 +391,45 @@ mod tests {
         assert_eq!(c.bump_release_clock(), 1);
         assert_eq!(c.bump_release_clock(), 2);
         assert_eq!(c.release_clock(), 2);
+    }
+
+    #[test]
+    fn drain_preserves_single_producer_fifo_order() {
+        let c = ThreadControl::new();
+        for i in 0..10 {
+            c.enqueue_request(CoordRequest {
+                from: ThreadId(i),
+                obj: Some(crate::ids::ObjId(u32::from(i))),
+                token: ResponseToken::new(),
+            });
+        }
+        let reqs = c.take_requests();
+        let froms: Vec<u16> = reqs.iter().map(|r| r.from.0).collect();
+        assert_eq!(froms, (0..10).collect::<Vec<u16>>());
+    }
+
+    #[test]
+    fn drop_reclaims_unanswered_requests() {
+        let tok = ResponseToken::new();
+        {
+            let c = ThreadControl::new();
+            for _ in 0..4 {
+                c.enqueue_request(CoordRequest {
+                    from: ThreadId(0),
+                    obj: None,
+                    token: tok.clone(),
+                });
+            }
+            // c dropped with a non-empty inbox.
+        }
+        // All queue-held Arcs were released by the drop.
+        assert_eq!(std::sync::Arc::strong_count(&tok), 1);
+    }
+
+    #[test]
+    fn control_block_is_cache_line_aligned() {
+        assert_eq!(std::mem::align_of::<ThreadControl>(), 128);
+        assert!(std::mem::size_of::<ThreadControl>() >= 128);
     }
 
     #[test]

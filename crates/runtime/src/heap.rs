@@ -13,13 +13,33 @@
 //! establishing happens-before between conflicting accesses. Using a relaxed
 //! atomic keeps racy programs well-defined in Rust while adding no fences,
 //! exactly like a plain field access in Java.
+//!
+//! # Layout
+//!
+//! The heap supports two storage layouts behind one access path:
+//!
+//! * **compact** (default): headers are packed back to back (24 bytes each),
+//!   matching the seed layout so Table 2 / Figure 7 numbers stay comparable.
+//!   Neighboring objects share cache lines, so concurrent state-word CASes on
+//!   adjacent `ObjId`s false-share.
+//! * **padded**: each header is padded to its own 64-byte cache line
+//!   ([`RuntimeConfig::padded_headers`](crate::runtime::RuntimeConfig)),
+//!   eliminating that false sharing at 2.7× the memory cost.
+//!
+//! The layout is fully encapsulated here: [`Heap::obj`] computes the header
+//! address from a base pointer and a stride, so engine code is identical
+//! under both layouts and flipping the knob never touches `drink-core`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
 
 use crate::ids::ObjId;
 
 /// One tracked shared object: state word + profile word + payload.
+///
+/// `repr(C)` so the padded layout can rely on the header sitting at offset 0
+/// of its padded slot.
 #[derive(Debug)]
+#[repr(C)]
 pub struct ObjHeader {
     state: AtomicU64,
     profile: AtomicU64,
@@ -75,6 +95,31 @@ impl ObjHeader {
         self.profile.store(0, Ordering::SeqCst);
         self.data.store(0, Ordering::SeqCst);
     }
+
+    /// Relaxed variant of [`ObjHeader::reset`] for bulk loops; the caller
+    /// publishes all of them with one trailing fence.
+    fn reset_relaxed(&self, state: u64) {
+        self.state.store(state, Ordering::Relaxed);
+        self.profile.store(0, Ordering::Relaxed);
+        self.data.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An [`ObjHeader`] padded out to one cache line.
+#[derive(Debug, Default)]
+#[repr(C, align(64))]
+struct PaddedSlot {
+    header: ObjHeader,
+}
+
+/// Owning storage for the two layouts. Kept only for its `Drop`; all access
+/// goes through the base pointer + stride in [`Heap`].
+#[derive(Debug)]
+enum Slots {
+    // The boxes are never read through — they exist to own the allocation
+    // that `Heap::base` points into and free it on drop.
+    Compact(#[allow(dead_code)] Box<[ObjHeader]>),
+    Padded(#[allow(dead_code)] Box<[PaddedSlot]>),
 }
 
 /// A fixed-size table of tracked objects.
@@ -86,56 +131,104 @@ impl ObjHeader {
 /// [`Heap::reset_all`] or per-object resets.)
 #[derive(Debug)]
 pub struct Heap {
-    objects: Box<[ObjHeader]>,
+    /// First header. Headers are `stride` bytes apart; the stride is the
+    /// only thing the two layouts disagree on, so `obj()` is branch-free.
+    base: *const u8,
+    stride: usize,
+    len: usize,
+    _slots: Slots,
 }
 
+// Safety: the pointer field aliases the heap-allocated `_slots` storage,
+// whose element types (atomics) are Sync; `base` is never written through
+// except via those atomics.
+unsafe impl Send for Heap {}
+unsafe impl Sync for Heap {}
+
 impl Heap {
-    /// A heap of `n` zeroed objects.
+    /// A heap of `n` zeroed objects in the compact (seed) layout.
     pub fn new(n: usize) -> Self {
-        let mut v = Vec::with_capacity(n);
-        v.resize_with(n, ObjHeader::new);
-        Heap {
-            objects: v.into_boxed_slice(),
+        Self::with_layout(n, false)
+    }
+
+    /// A heap of `n` zeroed objects; `padded` selects one-header-per-cache-
+    /// line storage.
+    pub fn with_layout(n: usize, padded: bool) -> Self {
+        if padded {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, PaddedSlot::default);
+            let slots = v.into_boxed_slice();
+            Heap {
+                base: slots.as_ptr().cast(),
+                stride: std::mem::size_of::<PaddedSlot>(),
+                len: n,
+                _slots: Slots::Padded(slots),
+            }
+        } else {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, ObjHeader::new);
+            let slots = v.into_boxed_slice();
+            Heap {
+                base: slots.as_ptr().cast(),
+                stride: std::mem::size_of::<ObjHeader>(),
+                len: n,
+                _slots: Slots::Compact(slots),
+            }
         }
+    }
+
+    /// True if this heap pads each header to its own cache line.
+    pub fn is_padded(&self) -> bool {
+        matches!(self._slots, Slots::Padded(_))
     }
 
     /// Number of objects.
     #[inline]
     pub fn len(&self) -> usize {
-        self.objects.len()
+        self.len
     }
 
     /// True if the heap holds no objects.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.objects.is_empty()
+        self.len == 0
     }
 
     /// The object with id `o`. Panics on out-of-range ids (a workload bug,
     /// never a protocol condition).
     #[inline(always)]
     pub fn obj(&self, o: ObjId) -> &ObjHeader {
-        &self.objects[o.index()]
+        let i = o.index();
+        assert!(i < self.len, "ObjId {} out of range (heap len {})", o.0, self.len);
+        // Safety: i is in range; a header lives at every multiple of
+        // `stride` from `base` (offset 0 of its slot in both layouts), and
+        // the storage outlives `&self`.
+        unsafe { &*self.base.add(i * self.stride).cast::<ObjHeader>() }
     }
 
     /// Iterate over `(ObjId, &ObjHeader)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjId, &ObjHeader)> {
-        self.objects
-            .iter()
-            .enumerate()
-            .map(|(i, h)| (ObjId(i as u32), h))
+        (0..self.len).map(|i| {
+            let id = ObjId(i as u32);
+            (id, self.obj(id))
+        })
     }
 
     /// Store `state` into every object's state word and clear profiles/data.
+    ///
+    /// The stores are Relaxed with one trailing SeqCst fence: bulk reset is
+    /// a single-threaded setup step, and one fence publishes the whole heap
+    /// at a fraction of the cost of 3·n SeqCst stores.
     pub fn reset_all(&self, state: u64) {
-        for o in self.objects.iter() {
-            o.reset(state);
+        for (_, o) in self.iter() {
+            o.reset_relaxed(state);
         }
+        fence(Ordering::SeqCst);
     }
 
     /// Snapshot of every object's payload, for replay-determinism checks.
     pub fn snapshot_data(&self) -> Vec<u64> {
-        self.objects.iter().map(|o| o.data_read()).collect()
+        self.iter().map(|(_, o)| o.data_read()).collect()
     }
 }
 
@@ -161,18 +254,27 @@ mod tests {
     }
 
     #[test]
+    #[should_panic]
+    fn out_of_range_obj_panics_padded() {
+        let h = Heap::with_layout(2, true);
+        h.obj(ObjId(2));
+    }
+
+    #[test]
     fn reset_all_clears_words() {
-        let h = Heap::new(3);
-        for (_, o) in h.iter() {
-            o.data_write(5);
-            o.state().store(123, Ordering::SeqCst);
-            o.profile().store(9, Ordering::SeqCst);
-        }
-        h.reset_all(77);
-        for (_, o) in h.iter() {
-            assert_eq!(o.data_read(), 0);
-            assert_eq!(o.state().load(Ordering::SeqCst), 77);
-            assert_eq!(o.profile().load(Ordering::SeqCst), 0);
+        for padded in [false, true] {
+            let h = Heap::with_layout(3, padded);
+            for (_, o) in h.iter() {
+                o.data_write(5);
+                o.state().store(123, Ordering::SeqCst);
+                o.profile().store(9, Ordering::SeqCst);
+            }
+            h.reset_all(77);
+            for (_, o) in h.iter() {
+                assert_eq!(o.data_read(), 0);
+                assert_eq!(o.state().load(Ordering::SeqCst), 77);
+                assert_eq!(o.profile().load(Ordering::SeqCst), 0);
+            }
         }
     }
 
@@ -189,5 +291,33 @@ mod tests {
         let h = Heap::new(5);
         let ids: Vec<u32> = h.iter().map(|(id, _)| id.0).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn layout_strides() {
+        assert_eq!(std::mem::size_of::<ObjHeader>(), 24);
+        assert_eq!(std::mem::size_of::<PaddedSlot>(), 64);
+        let compact = Heap::new(4);
+        let padded = Heap::with_layout(4, true);
+        assert!(!compact.is_padded());
+        assert!(padded.is_padded());
+        let gap = |h: &Heap| {
+            let a = h.obj(ObjId(0)) as *const _ as usize;
+            let b = h.obj(ObjId(1)) as *const _ as usize;
+            b - a
+        };
+        assert_eq!(gap(&compact), 24);
+        assert_eq!(gap(&padded), 64);
+        // Padded headers never share a cache line.
+        assert_eq!(padded.obj(ObjId(1)) as *const _ as usize % 64, 0);
+    }
+
+    #[test]
+    fn padded_heap_behaves_identically() {
+        let h = Heap::with_layout(6, true);
+        h.obj(ObjId(5)).data_write(7);
+        h.obj(ObjId(5)).state().store(1, Ordering::SeqCst);
+        assert_eq!(h.snapshot_data(), vec![0, 0, 0, 0, 0, 7]);
+        assert_eq!(h.iter().count(), 6);
     }
 }

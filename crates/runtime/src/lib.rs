@@ -34,6 +34,7 @@ pub mod cost;
 pub mod heap;
 pub mod ids;
 pub mod monitor;
+pub mod pad;
 pub mod runtime;
 pub mod spin;
 pub mod stats;
@@ -43,6 +44,7 @@ pub use cost::CostModel;
 pub use heap::{Heap, ObjHeader};
 pub use ids::{MonitorId, ObjId, ThreadId};
 pub use monitor::Monitor;
+pub use pad::CachePadded;
 pub use runtime::{Runtime, RuntimeConfig};
 pub use spin::Spin;
 pub use stats::{Event, GlobalStats, LocalStats, StatsReport};

@@ -26,6 +26,12 @@ pub struct RuntimeConfig {
     /// a RUNNING thread, like a JVM thin lock) before parking. Affects how
     /// often coordination against lock waiters is explicit vs. implicit.
     pub monitor_spin_iters: u32,
+    /// Pad each object header to its own 64-byte cache line so neighboring
+    /// objects' state-word CASes stop false-sharing. Off by default: the
+    /// compact layout is the seed layout the paper-comparison numbers use.
+    /// The layout is fully encapsulated in [`crate::heap::Heap`]; flipping
+    /// this never requires engine-code changes.
+    pub padded_headers: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -36,6 +42,7 @@ impl Default for RuntimeConfig {
             monitors: 16,
             spin_budget: crate::spin::Spin::DEFAULT_BUDGET,
             monitor_spin_iters: 300,
+            padded_headers: false,
         }
     }
 }
@@ -80,7 +87,7 @@ impl Runtime {
             .map(|_| ThreadControl::new())
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        let heap = Heap::new(config.heap_objects);
+        let heap = Heap::with_layout(config.heap_objects, config.padded_headers);
         let monitors = (0..config.monitors)
             .map(|_| Monitor::new())
             .collect::<Vec<_>>()

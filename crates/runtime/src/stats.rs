@@ -105,6 +105,16 @@ impl Event {
     /// Number of event kinds (length of the counter arrays).
     pub const COUNT: usize = Event::RegionRestart as usize + 1;
 
+    /// Compile-time proof backing the unchecked indexing in
+    /// [`LocalStats::bump`]: discriminants are the dense range `0..COUNT`.
+    const EVENT_DISCRIMINANTS_DENSE: () = {
+        let mut i = 0;
+        while i < Event::COUNT {
+            assert!((Event::ALL[i] as usize) == i, "Event discriminants must be dense 0..COUNT");
+            i += 1;
+        }
+    };
+
     /// All events, in counter-index order.
     pub const ALL: [Event; Event::COUNT] = [
         Event::OptSameState,
@@ -187,21 +197,36 @@ impl Default for LocalStats {
 impl LocalStats {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
+        // Force evaluation of the discriminant-density proof that `bump`'s
+        // unchecked indexing relies on.
+        const { Event::EVENT_DISCRIMINANTS_DENSE };
         LocalStats {
             counts: [0; Event::COUNT],
         }
     }
 
     /// Count one occurrence of `e`.
+    ///
+    /// This sits on the read/write fast path of every engine, so it must
+    /// compile to a single indexed add with no bounds check: `Event` is
+    /// `repr(usize)` with dense discriminants `0..COUNT` (const-asserted
+    /// below), so `e as usize` is always in range of the counter array.
     #[inline(always)]
     pub fn bump(&mut self, e: Event) {
-        self.counts[e as usize] += 1;
+        // Safety: every Event discriminant is < Event::COUNT (see the
+        // EVENT_DISCRIMINANTS_DENSE const assertion).
+        unsafe {
+            *self.counts.get_unchecked_mut(e as usize) += 1;
+        }
     }
 
     /// Count `n` occurrences of `e`.
     #[inline(always)]
     pub fn add(&mut self, e: Event, n: u64) {
-        self.counts[e as usize] += n;
+        // Safety: as in `bump`.
+        unsafe {
+            *self.counts.get_unchecked_mut(e as usize) += n;
+        }
     }
 
     /// Current count for `e`.

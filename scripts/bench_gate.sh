@@ -1,0 +1,26 @@
+#!/bin/bash
+# Bench gate: release build + tier-1 tests + fixed-iteration hot-path
+# microbench. Writes BENCH_hotpath.json (repo root by default; pass a path
+# to override) and fails if the build or tests fail, so CI can gate merges
+# on "tests green and hot-path numbers emitted".
+#
+#   scripts/bench_gate.sh [out.json]
+#
+# Compare the emitted ns/op rows against the previous run by hand (or with
+# jq); the fixed iteration counts make runs directly comparable across
+# commits on the same host.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_hotpath.json}"
+
+echo "=== bench_gate: release build"
+cargo build --release
+
+echo "=== bench_gate: tier-1 test suite"
+cargo test -q
+
+echo "=== bench_gate: hot-path microbench -> $OUT"
+./target/release/hotpath "$OUT"
+
+echo "=== bench_gate: OK"

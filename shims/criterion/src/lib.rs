@@ -1,0 +1,163 @@
+//! Offline stand-in for `criterion`: same API shape, simple fixed-budget
+//! timing loop, plain-text ns/iter report on stdout. No statistics, plots,
+//! or CLI parsing.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.sample_time, name, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.sample_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.sample_time, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion.sample_time, &label, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.function, self.parameter)
+    }
+}
+
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up briefly, then run timed batches until the budget is spent.
+        let warmup_end = Instant::now() + self.budget / 10;
+        let mut batch: u64 = 1;
+        while Instant::now() < warmup_end {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            batch = (batch * 2).min(1 << 20);
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget {
+                self.iters_done = iters;
+                self.elapsed = elapsed;
+                return;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(budget: Duration, label: &str, mut f: F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        budget,
+    };
+    f(&mut b);
+    if b.iters_done > 0 {
+        let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+        println!("{label:<50} {ns:>12.1} ns/iter ({} iters)", b.iters_done);
+    } else {
+        println!("{label:<50} (no measurement)");
+    }
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,4 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The workspace declares the dependency but currently uses no crossbeam
+//! APIs; this empty crate satisfies resolution without network access.

@@ -1,0 +1,177 @@
+//! Offline stand-in for `rand` 0.8: `SmallRng` + the `Rng`/`SeedableRng`
+//! trait surface this workspace uses (`gen`, `gen_bool`, `gen_range` over
+//! half-open integer ranges and the unit f64 interval).
+//!
+//! The generator is xorshift64*; the point is deterministic, well-mixed
+//! streams for workload generation, not statistical perfection.
+
+use std::ops::Range;
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        T: SampleStandard,
+    {
+        T::sample_standard(self.next_u64())
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types producible by `rng.gen()` (the `Standard` distribution).
+pub trait SampleStandard {
+    fn sample_standard(raw: u64) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard(raw: u64) -> Self {
+        unit_f64(raw)
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard(raw: u64) -> Self {
+        raw & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl SampleStandard for $t {
+            fn sample_standard(raw: u64) -> Self {
+                raw as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges usable with `rng.gen_range(..)`.
+pub trait SampleRange<T> {
+    fn sample(self, raw: u64) -> T;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                (self.start as u128).wrapping_add((raw as u128) % span) as $t
+            }
+        }
+    )*};
+}
+
+range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, raw: u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(raw) * (self.end - self.start)
+    }
+}
+
+fn unit_f64(raw: u64) -> f64 {
+    // 53 random bits into [0, 1).
+    (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xorshift64* with splitmix64 seeding (deterministic across platforms).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 to spread low-entropy seeds over the state space;
+            // xorshift needs a non-zero state.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            Self {
+                state: if z == 0 { 0x853c_49e6_748f_ea9b } else { z },
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    /// Alias kept so `features = ["std_rng"]` users resolve.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let g = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&g));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+}
