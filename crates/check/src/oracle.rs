@@ -1,0 +1,285 @@
+//! Cross-engine oracles: what a chaos run is checked *against*.
+//!
+//! Individual panics and `check-invariants` assertions catch protocol bugs
+//! at the moment they fire; the oracles here catch the quieter failure mode
+//! where a run completes but computed the wrong thing:
+//!
+//! * **Quiescence** — after any run, no state word may remain `LOCKED`,
+//!   intermediate, or pessimistically locked, and every word must be
+//!   well-formed ([`drink_core::word::StateWord::validate`]). Leaks here
+//!   mean a lock-buffer flush or coordination hand-off was lost.
+//! * **Differential equivalence** — the same seeded workload run under
+//!   Pessimistic, Optimistic and Hybrid tracking must perform the same
+//!   number of tracked accesses, and for *schedule-independent* specs
+//!   (no races, no locks: disjoint write sets plus a read-only shared
+//!   region) must produce the byte-identical final heap that an untracked
+//!   baseline run produces, with zero conflicting transitions.
+//! * **Record/replay** — a recorded run's log, replayed, must reproduce the
+//!   recorded final heap exactly (the paper's §7.6 determinism claim).
+//! * **Region serializability** — the RS enforcers must complete under
+//!   perturbation with `execs > restarts` (every committed region ran at
+//!   least once; restarts never livelock), end quiescent, and — for
+//!   schedule-independent specs — match the baseline heap, which for
+//!   disjoint write sets is precisely the serial-witness check.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use drink_core::word::StateWord;
+use drink_rs::RsEnforcer;
+use drink_runtime::{Event, Runtime, SchedHooks};
+use drink_workloads::{
+    record, replay, run_kind, run_rs_on, runtime_config_for, EngineKind, RecorderKind, RsKind,
+    RunResult, WorkloadSpec,
+};
+
+use crate::artifact::FailureArtifact;
+use crate::chaos::ChaosSched;
+use crate::harness::{self, MATRIX_ENGINES};
+
+/// Is `spec`'s final heap independent of thread interleaving? True when
+/// threads share data only through the read-only region: no racy accesses
+/// and no critical sections (every written object is thread-private).
+pub fn schedule_independent(spec: &WorkloadSpec) -> bool {
+    spec.racy_frac == 0.0 && spec.locked_frac == 0.0
+}
+
+/// Post-run heap scan: every state word well-formed and quiescent.
+pub fn check_quiescent(rt: &Runtime, label: &str) -> Result<(), String> {
+    for (id, obj) in rt.heap().iter() {
+        let w = StateWord(obj.state().load(Ordering::SeqCst));
+        if w.is_locked_sentinel() {
+            return Err(format!("{label}: {id} left LOCKED after the run"));
+        }
+        if w.is_int() {
+            return Err(format!("{label}: {id} left in intermediate state {w:?}"));
+        }
+        if w.is_pess_locked() {
+            return Err(format!(
+                "{label}: {id} left pessimistically locked {w:?} (lock-buffer leak)"
+            ));
+        }
+        if let Err(e) = w.validate() {
+            return Err(format!("{label}: {id} ill-formed {w:?} — {e}"));
+        }
+    }
+    // Coordination quiescence: with every mutator joined, an inbox node the
+    // fast-path flag does not announce is a request no poll would ever have
+    // answered — a drain cleared the flag over a live node (the lost-wakeup
+    // ordering `take_requests` exists to rule out).
+    for (i, ctl) in rt.controls().iter().enumerate() {
+        if ctl.has_stranded_requests() {
+            return Err(format!(
+                "{label}: T{i} leaked an unanswered coordination request past teardown \
+                 (inbox non-empty but has_requests clear)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run the engine matrix on `spec` under chaos seed `seed` and check the
+/// differential oracles. On failure returns an artifact naming the engine
+/// (or `differential` for cross-engine mismatches) with the decision traces
+/// of the run that exposed it.
+pub fn differential_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureArtifact> {
+    // Unperturbed, untracked reference run: the program's semantics.
+    let baseline = run_kind(EngineKind::Baseline, spec);
+    let independent = schedule_independent(spec);
+
+    let mut accesses: Option<(EngineKind, u64)> = None;
+    for kind in MATRIX_ENGINES {
+        let cell = harness::run_cell(kind, spec, seed)?;
+        let fail = |failure: String, traces| FailureArtifact {
+            seed,
+            engine: "differential".into(),
+            spec: spec.clone(),
+            failure,
+            traces,
+        };
+
+        let a = cell.run.report.accesses();
+        match accesses {
+            None => accesses = Some((kind, a)),
+            Some((k0, a0)) if a0 != a => {
+                return Err(fail(
+                    format!(
+                        "access counts diverge: {} performed {a0}, {} performed {a}",
+                        k0.label(),
+                        kind.label()
+                    ),
+                    cell.traces,
+                ));
+            }
+            Some(_) => {}
+        }
+
+        if independent {
+            if cell.run.heap != baseline.heap {
+                let diverged = first_heap_divergence(&baseline.heap, &cell.run.heap);
+                return Err(fail(
+                    format!(
+                        "{} changed a schedule-independent program's heap ({diverged})",
+                        kind.label()
+                    ),
+                    cell.traces,
+                ));
+            }
+            let conflicts = cell.run.report.opt_conflicting() + cell.run.report.get(Event::PessContended);
+            if conflicts != 0 {
+                return Err(fail(
+                    format!(
+                        "{} reported {conflicts} conflicting transitions on a conflict-free spec",
+                        kind.label()
+                    ),
+                    cell.traces,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn first_heap_divergence(a: &[u64], b: &[u64]) -> String {
+    if a.len() != b.len() {
+        return format!("lengths {} vs {}", a.len(), b.len());
+    }
+    match a.iter().zip(b).position(|(x, y)| x != y) {
+        Some(i) => format!("first at object {i}: {:#x} vs {:#x}", a[i], b[i]),
+        None => "heaps equal?".into(),
+    }
+}
+
+/// Record `spec` under both recorder kinds and verify replay reproduces the
+/// recorded heap exactly. (Recording runs unperturbed: the recorder owns
+/// its runtime; what is under test is the log's completeness, which the
+/// differential/chaos cells already stress from the engine side.)
+pub fn replay_check(spec: &WorkloadSpec) -> Result<(), String> {
+    for kind in [RecorderKind::Optimistic, RecorderKind::Hybrid] {
+        // Wrapped: a protocol panic inside the recorder (e.g. an injected
+        // bug tripping the invariant layer) must report, not abort the suite.
+        let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let out = record(kind, spec);
+            let rep = replay(spec, out.log.clone());
+            if rep.heap != out.run.heap {
+                return Err(format!(
+                    "{} replay diverged from its recording ({})",
+                    kind.name(),
+                    first_heap_divergence(&out.run.heap, &rep.heap)
+                ));
+            }
+            Ok(())
+        }));
+        match checked {
+            Ok(r) => r?,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".into());
+                return Err(format!("{} record/replay panicked: {msg}", kind.name()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Run one RS enforcer under chaos, catching worker panics.
+fn run_rs_chaos(
+    kind: RsKind,
+    spec: &WorkloadSpec,
+    sched: Arc<dyn SchedHooks>,
+) -> Result<RunResult, String> {
+    let build = move || {
+        let mut rt = Runtime::new(runtime_config_for(spec));
+        rt.set_sched_hooks(sched);
+        let rt = Arc::new(rt);
+        let enforcer = match kind {
+            RsKind::Optimistic => RsEnforcer::optimistic(Arc::clone(&rt)),
+            RsKind::Hybrid => RsEnforcer::hybrid(Arc::clone(&rt)),
+        };
+        let run = run_rs_on(&enforcer, spec);
+        check_quiescent(&rt, kind.name()).map(|()| run)
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(build)) {
+        Ok(r) => r,
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".into())),
+    }
+}
+
+/// The region-serializability oracle: both RS enforcers complete `spec`
+/// under perturbation, never livelock (`execs > restarts`), end quiescent,
+/// and preserve schedule-independent semantics.
+pub fn rs_check(spec: &WorkloadSpec, seed: u64) -> Result<(), String> {
+    let independent = schedule_independent(spec);
+    let baseline = independent.then(|| run_kind(EngineKind::Baseline, spec));
+    for kind in [RsKind::Optimistic, RsKind::Hybrid] {
+        let chaos = Arc::new(ChaosSched::new(seed, spec.threads));
+        let r = run_rs_chaos(kind, spec, chaos)
+            .map_err(|e| format!("{} under seed {seed:#x}: {e}", kind.name()))?;
+        let execs = r.report.get(Event::RegionExec);
+        let restarts = r.report.get(Event::RegionRestart);
+        if execs == 0 || execs <= restarts {
+            return Err(format!(
+                "{}: region accounting broken: execs={execs} restarts={restarts}",
+                kind.name()
+            ));
+        }
+        if let Some(base) = &baseline {
+            if r.heap != base.heap {
+                return Err(format!(
+                    "{} broke serializability of a schedule-independent program ({})",
+                    kind.name(),
+                    first_heap_divergence(&base.heap, &r.heap)
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix};
+
+    #[test]
+    fn differential_holds_on_disjoint_spec() {
+        differential_check(&chaos_disjoint(31), 31)
+            .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+    }
+
+    #[test]
+    fn differential_holds_on_racy_specs() {
+        // Not schedule-independent: only the access-count and quiescence
+        // oracles apply, but they apply under heavy perturbation.
+        differential_check(&chaos_mix(32), 32)
+            .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+        differential_check(&chaos_handoff(33), 33)
+            .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+    }
+
+    #[test]
+    fn replay_reproduces_chaos_specs() {
+        replay_check(&chaos_mix(34)).unwrap();
+        replay_check(&chaos_disjoint(35)).unwrap();
+    }
+
+    #[test]
+    fn rs_enforcers_survive_perturbation() {
+        rs_check(&chaos_disjoint(36), 36).unwrap();
+        rs_check(&chaos_mix(37), 37).unwrap();
+    }
+
+    #[test]
+    fn schedule_independence_classifier() {
+        assert!(schedule_independent(&chaos_disjoint(1)));
+        assert!(!schedule_independent(&chaos_mix(1)));
+        assert!(!schedule_independent(&chaos_handoff(1)));
+    }
+}

@@ -21,7 +21,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use drink_runtime::{
-    Event, MonitorId, ObjId, RtHooks, Runtime, ThreadId,
+    Event, MonitorId, ObjId, RtHooks, Runtime, SchedPoint, ThreadId,
 };
 
 use crate::policy::AdaptivePolicy;
@@ -156,6 +156,8 @@ impl<S: Support> EngineCommon<S> {
             ts.rd_set.is_empty() && ts.locked.is_empty(),
             "object-set bitmaps out of sync with the lock buffer"
         );
+        #[cfg(feature = "check-invariants")]
+        ts.check_set_invariants();
     }
 
     /// Unlock this thread's hold on object `o` (one flush step).
@@ -169,6 +171,9 @@ impl<S: Support> EngineCommon<S> {
                 w.is_pess_locked(),
                 "lock buffer entry {o:?} not locked: {w:?}"
             );
+            #[cfg(feature = "check-invariants")]
+            w.validate()
+                .unwrap_or_else(|e| panic!("ill-formed state word on {o:?}: {w:?} — {e}"));
             let to_opt = self.policy.unlock_to_optimistic(obj.profile());
             let unlocked = w.unlock_one();
             // An exclusive state (or the last RdSh share) may transfer to
@@ -200,6 +205,7 @@ impl<S: Support> EngineCommon<S> {
     #[inline(always)]
     pub fn poll(&self, ts: &mut ThreadState) {
         ts.stats.bump(Event::SafepointPoll);
+        self.rt.sched_point(ts.tid, SchedPoint::SafepointPoll);
         if self.rt.control(ts.tid).has_pending_requests() {
             self.respond_pending(ts);
         }
@@ -214,6 +220,7 @@ impl<S: Support> EngineCommon<S> {
     #[cold]
     pub fn respond_pending(&self, ts: &mut ThreadState) {
         let ctl = self.rt.control(ts.tid);
+        self.rt.sched_point(ts.tid, SchedPoint::CoordRespond);
         let reqs = ctl.take_requests();
         if reqs.is_empty() {
             return;
@@ -275,6 +282,10 @@ impl<S: Support> EngineCommon<S> {
     /// Second half of [`EngineCommon::claim`]: publish the final state.
     #[inline(always)]
     pub fn publish(&self, state: &std::sync::atomic::AtomicU64, final_w: StateWord) {
+        #[cfg(feature = "check-invariants")]
+        final_w
+            .validate()
+            .unwrap_or_else(|e| panic!("publishing ill-formed state word {final_w:?} — {e}"));
         if S::PREPUBLISH {
             state.store(final_w.0, Ordering::Release);
         }
@@ -372,7 +383,28 @@ impl<S: Support> RtHooks for EngineCommon<S> {
             },
         );
         let clock = self.rt.control(t).bump_release_clock();
-        self.flush_lock_buffer(ts);
+        // Injected bug `skip-flush-before-block` (check-invariants builds
+        // only): entering BLOCKED while still holding pessimistic object
+        // locks. Implicit coordination then transfers states the blocked
+        // thread believes it holds — exactly the protocol violation the
+        // blocking-safe-point flush exists to prevent.
+        #[cfg(feature = "check-invariants")]
+        let skip_flush = drink_runtime::injected_bug("skip-flush-before-block");
+        #[cfg(not(feature = "check-invariants"))]
+        let skip_flush = false;
+        if !skip_flush {
+            self.flush_lock_buffer(ts);
+        }
+        // The "BLOCKED threads hold no pessimistic locks" invariant. This is
+        // precisely what detects `skip-flush-before-block`: the first time a
+        // perturbed schedule parks a thread with a non-empty lock buffer, the
+        // violation is reported here instead of hanging a remote spinner.
+        #[cfg(feature = "check-invariants")]
+        assert!(
+            ts.holds_no_locks(),
+            "T{} about to publish BLOCKED while holding pessimistic locks",
+            t.raw()
+        );
         self.support.on_release(self.cx(ts), clock);
     }
 
@@ -410,6 +442,11 @@ impl<S: Support> RtHooks for EngineCommon<S> {
         // SAFETY: as above.
         let ts = unsafe { self.ts(t) };
         self.psro_flush(ts);
+    }
+
+    #[inline]
+    fn sched_point(&self, t: ThreadId, point: SchedPoint) {
+        self.rt.sched_point(t, point);
     }
 }
 

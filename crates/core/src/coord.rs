@@ -22,7 +22,7 @@
 //! blocked; the stale queued request is answered harmlessly when the remote
 //! eventually wakes.
 
-use drink_runtime::{CoordRequest, ResponseToken, Runtime, ThreadId, ThreadStatus};
+use drink_runtime::{CoordRequest, ResponseToken, Runtime, SchedPoint, ThreadId, ThreadStatus};
 
 use crate::support::CoordMode;
 
@@ -53,7 +53,7 @@ pub fn coordinate_one(
     debug_assert_ne!(me, remote, "a thread never coordinates with itself");
     let ctl = rt.control(remote);
     let mut pending: Option<std::sync::Arc<ResponseToken>> = None;
-    let mut spin = rt.spinner("coordination response");
+    let mut spin = rt.spinner_for(me, "coordination response");
     loop {
         if let Some(tok) = &pending {
             if tok.is_done() {
@@ -85,6 +85,7 @@ pub fn coordinate_one(
                         obj,
                         token: token.clone(),
                     });
+                    rt.sched_point(me, SchedPoint::CoordRequest);
                     pending = Some(token);
                 }
             }

@@ -90,6 +90,6 @@ pub trait Tracker: Send + Sync {
     /// Monitor wait (PSRO + blocking safe point).
     fn wait(&self, t: ThreadId, m: MonitorId);
 
-    /// Monitor notify-all.
-    fn notify_all(&self, m: MonitorId);
+    /// Monitor notify-all, performed by thread `t`.
+    fn notify_all(&self, t: ThreadId, m: MonitorId);
 }

@@ -64,8 +64,8 @@ impl Tracker for NoTracking {
         self.rt.monitor_wait(m, t, &NoHooks);
     }
 
-    fn notify_all(&self, m: MonitorId) {
-        self.rt.monitor_notify_all(m);
+    fn notify_all(&self, t: ThreadId, m: MonitorId) {
+        self.rt.monitor_notify_all_from(m, t);
     }
 }
 

@@ -175,8 +175,8 @@ impl<S: Support> Tracker for PessimisticEngine<S> {
         self.common.monitor_wait(ts, m);
     }
 
-    fn notify_all(&self, m: MonitorId) {
-        self.common.rt.monitor_notify_all(m);
+    fn notify_all(&self, t: ThreadId, m: MonitorId) {
+        self.common.rt.monitor_notify_all_from(m, t);
     }
 }
 

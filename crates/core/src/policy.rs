@@ -153,6 +153,19 @@ fn encode(p: Profile) -> u64 {
         | ((p.phase as u64) << PHASE_SHIFT)
 }
 
+/// The one-way valve (`check-invariants` builds): the only phase changes the
+/// policy may ever publish are `OptInitial → Pess` and `Pess → OptFinal`.
+#[cfg(feature = "check-invariants")]
+#[inline]
+fn assert_legal_phase_step(from: Phase, to: Phase) {
+    let legal = from == to
+        || matches!(
+            (from, to),
+            (Phase::OptInitial, Phase::Pess) | (Phase::Pess, Phase::OptFinal)
+        );
+    assert!(legal, "adaptive valve violated: {from:?} → {to:?}");
+}
+
 #[inline(always)]
 fn sat_inc(v: u32, mask: u64) -> u32 {
     if (v as u64) < mask {
@@ -218,6 +231,8 @@ impl AdaptivePolicy {
             if go_pess {
                 p.phase = Phase::Pess;
             }
+            #[cfg(feature = "check-invariants")]
+            assert_legal_phase_step(decode(cur).phase, p.phase);
             match word.compare_exchange_weak(cur, encode(p), Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return go_pess,
                 Err(actual) => cur = actual,
@@ -255,6 +270,8 @@ impl AdaptivePolicy {
             if to_opt {
                 p.phase = Phase::OptFinal;
             }
+            #[cfg(feature = "check-invariants")]
+            assert_legal_phase_step(decode(cur).phase, p.phase);
             match word.compare_exchange_weak(cur, encode(p), Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return to_opt,
                 Err(actual) => cur = actual,
@@ -371,6 +388,67 @@ mod tests {
         assert!(!policy.on_pess_transition(&w, true, true)); // contended 2
         assert!(policy.on_pess_transition(&w, true, true)); // contended 3 → OptFinal
         assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::OptFinal);
+    }
+
+    #[test]
+    fn paper_defaults_flip_to_pess_on_fourth_conflict() {
+        // Pins §7.3's `Cutoff_confl = 4` end-to-end at the default params.
+        let policy = AdaptivePolicy::default();
+        let w = word();
+        for i in 1..=3 {
+            assert!(!policy.on_explicit_conflict(&w), "flipped early at conflict #{i}");
+            assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::OptInitial);
+        }
+        assert!(policy.on_explicit_conflict(&w), "4th conflict must flip");
+        assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::Pess);
+    }
+
+    #[test]
+    fn paper_defaults_flip_back_exactly_at_inequality_5() {
+        // With defaults (K_confl = 200, Inertia = 100) and zero conflicting
+        // pessimistic transitions, the threshold is exactly Inertia = 100.
+        let policy = AdaptivePolicy::default();
+        let w = word();
+        drive_to_pess(&policy, &w);
+        for i in 1..100 {
+            assert!(
+                !policy.on_pess_transition(&w, false, false),
+                "flipped early at non-confl #{i} (threshold is 100)"
+            );
+        }
+        assert!(policy.on_pess_transition(&w, false, false), "#100 must flip");
+        assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::OptFinal);
+
+        // With one conflicting transition first, the threshold moves to
+        // 200 × 1 + 100 = 300.
+        let w = word();
+        drive_to_pess(&policy, &w);
+        assert!(!policy.on_pess_transition(&w, true, false));
+        for i in 1..300 {
+            assert!(
+                !policy.on_pess_transition(&w, false, false),
+                "flipped early at non-confl #{i} (threshold is 300)"
+            );
+        }
+        assert!(policy.on_pess_transition(&w, false, false), "#300 must flip");
+        assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::OptFinal);
+    }
+
+    #[test]
+    fn paper_defaults_valve_never_reenters_pess() {
+        let policy = AdaptivePolicy::default();
+        let w = word();
+        drive_to_pess(&policy, &w);
+        for _ in 0..100 {
+            policy.on_pess_transition(&w, false, false);
+        }
+        assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::OptFinal);
+        for _ in 0..1_000 {
+            assert!(!policy.on_explicit_conflict(&w));
+            assert!(policy.on_pess_transition(&w, true, true), "OptFinal keeps reporting to-opt");
+        }
+        assert_eq!(AdaptivePolicy::profile(&w).phase, Phase::OptFinal);
+        assert!(policy.unlock_to_optimistic(&w));
     }
 
     #[test]

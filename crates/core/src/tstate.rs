@@ -110,6 +110,17 @@ impl DenseObjSet {
         self.words.fill(0);
         self.len = 0;
     }
+
+    /// Is every id in `self` also in `other`? Word-wise `a & !b == 0`, so
+    /// O(capacity/64) — cheap enough for `check-invariants` hot paths.
+    pub fn is_subset_of(&self, other: &DenseObjSet) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        self.words.iter().enumerate().all(|(i, &a)| {
+            a & !other.words.get(i).copied().unwrap_or(0) == 0
+        })
+    }
 }
 
 /// A cell that is shared between threads structurally but owned by exactly
@@ -265,6 +276,30 @@ impl ThreadState {
     pub fn holds_no_locks(&self) -> bool {
         self.lock_buffer.is_empty() && self.rd_set.is_empty() && self.locked.is_empty()
     }
+
+    /// The containment chain the lock bookkeeping must maintain at all
+    /// times: `rd_set ⊆ locked ⊆ lock_buffer` (the bitmap mirrors the Vec,
+    /// which may hold duplicates for reentrant RdSh read locks, hence `≤` on
+    /// the counts). Compiled into the mutation paths by `check-invariants`.
+    pub fn check_set_invariants(&self) {
+        assert!(
+            self.rd_set.is_subset_of(&self.locked),
+            "T{} rd_set ⊄ locked",
+            self.tid.raw()
+        );
+        assert!(
+            self.locked.len() <= self.lock_buffer.len(),
+            "T{} locked bitmap ({}) larger than lock_buffer ({})",
+            self.tid.raw(),
+            self.locked.len(),
+            self.lock_buffer.len()
+        );
+        assert!(
+            self.lock_buffer.iter().all(|o| self.locked.contains(o.0)),
+            "T{} lock_buffer entry missing from locked bitmap",
+            self.tid.raw()
+        );
+    }
 }
 
 #[cfg(test)]
@@ -352,6 +387,41 @@ mod tests {
         assert!(s.insert(1000));
         assert!(s.contains(1000));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn subset_test_handles_unequal_capacities() {
+        let mut small = DenseObjSet::with_capacity(4);
+        let mut big = DenseObjSet::with_capacity(256);
+        assert!(small.is_subset_of(&big), "empty ⊆ empty");
+        small.insert(2);
+        assert!(!small.is_subset_of(&big));
+        big.insert(2);
+        big.insert(200);
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small), "id beyond small's capacity");
+        small.insert(200);
+        assert!(big.is_subset_of(&small), "grown past declared capacity");
+    }
+
+    #[test]
+    fn set_invariants_hold_through_lock_lifecycle() {
+        let mut ts = ThreadState::new(ThreadId(1), 32);
+        ts.check_set_invariants();
+        ts.push_lock(ObjId(3));
+        ts.push_read_lock(ObjId(7));
+        ts.push_read_lock(ObjId(7)); // reentrant: Vec dup, bitmap unchanged
+        ts.check_set_invariants();
+        ts.remove_lock(ObjId(3));
+        ts.check_set_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "rd_set ⊄ locked")]
+    fn set_invariants_catch_rd_set_escape() {
+        let mut ts = ThreadState::new(ThreadId(1), 32);
+        ts.rd_set.insert(5);
+        ts.check_set_invariants();
     }
 
     #[test]

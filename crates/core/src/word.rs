@@ -288,6 +288,72 @@ impl StateWord {
             Kind::Int => unreachable!(),
         }
     }
+
+    /// Well-formedness check per the encoding above: is this a word one of
+    /// the constructors could have produced (or the LOCKED sentinel)?
+    ///
+    /// `check-invariants` builds run this on every word the engines publish;
+    /// an `Err` means a state that has no meaning in the §3.2 state space —
+    /// e.g. a RdSh word carrying an owner tid, or an optimistic word with a
+    /// lock bit — and therefore a protocol bug, not a legal transition.
+    pub fn validate(self) -> Result<(), &'static str> {
+        if self.is_locked_sentinel() {
+            return Ok(());
+        }
+        const KNOWN_BITS: u64 = KIND_MASK
+            | PESS_BIT
+            | (LOCK_MASK << LOCK_SHIFT)
+            | (OWNER_MASK << OWNER_SHIFT)
+            | (N_MASK << N_SHIFT)
+            | (C_MASK << C_SHIFT);
+        if self.0 & !KNOWN_BITS != 0 {
+            return Err("reserved bits set");
+        }
+        if (self.0 >> LOCK_SHIFT) & LOCK_MASK == 3 {
+            return Err("lock mode 3 is not encodable");
+        }
+        if !self.is_pess() && self.lock_mode() != LockMode::Unlocked {
+            return Err("optimistic state carries a lock");
+        }
+        match self.kind() {
+            Kind::RdSh => {
+                if (self.0 >> OWNER_SHIFT) & OWNER_MASK != 0 {
+                    return Err("RdSh state carries an owner tid");
+                }
+                if !self.is_pess() && self.read_locks() != 0 {
+                    return Err("optimistic RdSh carries a read-lock count");
+                }
+                if self.is_pess() && (self.read_locks() > 0) != (self.lock_mode() == LockMode::Read)
+                {
+                    return Err("RdSh lock mode disagrees with read-lock count");
+                }
+                if self.is_pess() && self.lock_mode() == LockMode::Write {
+                    return Err("RdSh cannot be write-locked");
+                }
+            }
+            Kind::WrEx | Kind::RdEx => {
+                if self.read_locks() != 0 {
+                    return Err("exclusive state carries a read-lock count");
+                }
+                if self.rdsh_count() != 0 {
+                    return Err("exclusive state carries a RdSh counter");
+                }
+                if self.kind() == Kind::RdEx && self.lock_mode() == LockMode::Write {
+                    return Err("RdEx cannot be write-locked (writes upgrade to WrEx)");
+                }
+            }
+            Kind::Int => {
+                if self.is_pess()
+                    || self.lock_mode() != LockMode::Unlocked
+                    || self.read_locks() != 0
+                    || self.rdsh_count() != 0
+                {
+                    return Err("Int state carries pess/lock/count bits");
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Debug for StateWord {
@@ -434,6 +500,39 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_ill_formed_words() {
+        // RdSh with a nonzero owner tid (the ISSUE's canonical example).
+        let rdsh_with_owner = StateWord(StateWord::rd_sh_opt(5).0 | (3u64 << 8));
+        assert_eq!(rdsh_with_owner.validate(), Err("RdSh state carries an owner tid"));
+        // Optimistic word with a lock bit.
+        let opt_locked = StateWord(StateWord::wr_ex_opt(t(1)).0 | (1 << 3));
+        assert_eq!(opt_locked.validate(), Err("optimistic state carries a lock"));
+        // Reserved low bits (5..=7).
+        assert_eq!(StateWord(1 << 5).validate(), Err("reserved bits set"));
+        // Lock-mode field at its unencodable value.
+        let lock3 = StateWord(StateWord::wr_ex_pess(t(1), LockMode::Write).0 | (0b11 << 3));
+        assert_eq!(lock3.validate(), Err("lock mode 3 is not encodable"));
+        // Exclusive state with RdSh fields.
+        let wrex_with_n = StateWord(StateWord::wr_ex_pess(t(1), LockMode::Read).0 | (2 << 24));
+        assert_eq!(wrex_with_n.validate(), Err("exclusive state carries a read-lock count"));
+        let rdex_with_c = StateWord(StateWord::rd_ex_opt(t(1)).0 | (9 << 32));
+        assert_eq!(rdex_with_c.validate(), Err("exclusive state carries a RdSh counter"));
+        // RdSh whose lock mode disagrees with its count.
+        let rdsh_bad_n = StateWord(StateWord::rd_sh_pess(4, 0).0 | (1 << 24));
+        assert_eq!(rdsh_bad_n.validate(), Err("RdSh lock mode disagrees with read-lock count"));
+        // Int with a pess bit.
+        let int_pess = StateWord(StateWord::int(t(2)).0 | (1 << 2));
+        assert_eq!(int_pess.validate(), Err("Int state carries pess/lock/count bits"));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn rd_ex_pess_write_lock_is_rejected_in_debug() {
+        let r = std::panic::catch_unwind(|| StateWord::rd_ex_pess(ThreadId(1), LockMode::Write));
+        assert!(r.is_err(), "RdEx+WLock must trip the debug_assert");
+    }
+
+    #[test]
     fn fields_do_not_interfere() {
         // Set every field to its max and read each back.
         let w = StateWord::rd_sh_pess(MAX_RDSH_COUNT, MAX_READ_LOCKS);
@@ -545,6 +644,50 @@ mod proptests {
                 prop_assert!(!w.is_int(), "{w:?}");
             }
             prop_assert!(StateWord::int(tid).is_int());
+        }
+
+        /// Every word a constructor can produce passes `validate`, and so do
+        /// the words derived from it by the engine helpers.
+        #[test]
+        fn constructed_words_always_validate(tid in arb_tid(), c in 0u64..=MAX_RDSH_COUNT, n in 0u64..=MAX_READ_LOCKS) {
+            for w in [
+                StateWord::wr_ex_opt(tid),
+                StateWord::rd_ex_opt(tid),
+                StateWord::rd_sh_opt(c),
+                StateWord::int(tid),
+                StateWord::wr_ex_pess(tid, LockMode::Write),
+                StateWord::wr_ex_pess(tid, LockMode::Read),
+                StateWord::wr_ex_pess(tid, LockMode::Unlocked),
+                StateWord::rd_ex_pess(tid, LockMode::Read),
+                StateWord::rd_ex_pess(tid, LockMode::Unlocked),
+                StateWord::rd_sh_pess(c, n),
+                StateWord::LOCKED,
+            ] {
+                prop_assert_eq!(w.validate(), Ok(()), "{:?}", w);
+            }
+            let locked = StateWord::rd_sh_pess(c, n.max(1));
+            prop_assert_eq!(locked.unlock_one().validate(), Ok(()));
+            prop_assert_eq!(StateWord::rd_sh_pess(c, 0).to_optimistic().validate(), Ok(()));
+            prop_assert_eq!(StateWord::wr_ex_opt(tid).to_pess_unlocked().validate(), Ok(()));
+        }
+
+        /// `validate` on an arbitrary u64 accepts only words that re-encode
+        /// to themselves through the constructors (i.e. it admits no junk).
+        #[test]
+        fn validate_is_sound_on_random_words(raw in any::<u64>()) {
+            let w = StateWord(raw);
+            if w.validate().is_ok() && !w.is_locked_sentinel() {
+                let rebuilt = match (w.kind(), w.is_pess()) {
+                    (Kind::WrEx, false) => StateWord::wr_ex_opt(w.owner()),
+                    (Kind::RdEx, false) => StateWord::rd_ex_opt(w.owner()),
+                    (Kind::RdSh, false) => StateWord::rd_sh_opt(w.rdsh_count()),
+                    (Kind::Int, _) => StateWord::int(w.owner()),
+                    (Kind::WrEx, true) => StateWord::wr_ex_pess(w.owner(), w.lock_mode()),
+                    (Kind::RdEx, true) => StateWord::rd_ex_pess(w.owner(), w.lock_mode()),
+                    (Kind::RdSh, true) => StateWord::rd_sh_pess(w.rdsh_count(), w.read_locks()),
+                };
+                prop_assert_eq!(rebuilt.0, raw, "{:?}", w);
+            }
         }
 
         /// Distinct logical states encode to distinct words.

@@ -257,7 +257,7 @@ impl Tracker for ReplayEngine {
         local.op += 1;
     }
 
-    fn notify_all(&self, _m: MonitorId) {}
+    fn notify_all(&self, _t: ThreadId, _m: MonitorId) {}
 }
 
 #[cfg(test)]

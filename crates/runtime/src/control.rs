@@ -271,8 +271,28 @@ impl ThreadControl {
         if !self.has_pending_requests() {
             return Vec::new();
         }
-        self.has_requests.store(false, Ordering::SeqCst);
+        // Injected bug `late-has-requests-clear` (check-invariants builds
+        // only): clearing the flag *after* the detach re-opens the lost-
+        // wakeup race documented above — a request pushed between the swap
+        // and the late clear is drained AND has its flag wiped, so the next
+        // poll's fast path sees nothing even though the push already
+        // happened-before a later enqueue the requester is spinning on.
+        #[cfg(feature = "check-invariants")]
+        let late_clear = crate::injected_bug("late-has-requests-clear");
+        #[cfg(not(feature = "check-invariants"))]
+        let late_clear = false;
+        if !late_clear {
+            self.has_requests.store(false, Ordering::SeqCst);
+        }
         let mut head = self.inbox.swap(ptr::null_mut(), Ordering::Acquire);
+        if late_clear {
+            // Hold the race window open so the chaos harness can actually
+            // land an enqueue inside it: a push arriving here is detached by
+            // no one (we already swapped) and its flag is wiped below — the
+            // request is stranded until some *later* enqueue re-flags.
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            self.has_requests.store(false, Ordering::SeqCst);
+        }
         let mut out = Vec::new();
         while !head.is_null() {
             // Safety: the swap made this list exclusively ours; nodes were
@@ -283,6 +303,21 @@ impl ThreadControl {
         }
         out.reverse();
         out
+    }
+
+    /// Any thread, **at quiescence only** (all mutators joined): is there a
+    /// request in the inbox that the fast-path flag does not announce?
+    ///
+    /// While mutators run this is transiently true during every enqueue
+    /// (the node is pushed before the flag is set), so it is meaningless as
+    /// a runtime assertion — but once no enqueue can be in flight, a
+    /// stranded request means a drain wiped the flag over a live node (the
+    /// lost-wakeup race [`ThreadControl::take_requests`] exists to prevent):
+    /// no future poll would ever have answered it. The checking harness
+    /// scans for this after every run.
+    pub fn has_stranded_requests(&self) -> bool {
+        !self.inbox.load(Ordering::SeqCst).is_null()
+            && !self.has_requests.load(Ordering::SeqCst)
     }
 
     // --- Release clock ---

@@ -49,6 +49,63 @@ pub use runtime::{Runtime, RuntimeConfig};
 pub use spin::Spin;
 pub use stats::{Event, GlobalStats, LocalStats, StatsReport};
 
+/// A schedule-relevant program point, as reported to [`SchedHooks`].
+///
+/// These are exactly the windows where the tracking protocols race: the
+/// moments between "decide based on a remote thread's state" and "act on
+/// that decision". A perturbation layer (crate `drink-check`) injects
+/// delays at these points to force the interleavings a 1-core OS scheduler
+/// would essentially never produce on its own.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedPoint {
+    /// A non-blocking safe point poll (loop back edge).
+    SafepointPoll,
+    /// One backoff step of a watchdog [`Spin`] loop.
+    SpinBackoff,
+    /// One iteration of a contended monitor acquire's spin phase.
+    MonitorAcquireSpin,
+    /// About to park on a contended monitor acquire (BLOCKED published).
+    MonitorPark,
+    /// Woke from a monitor park (acquire or wait), back to RUNNING.
+    MonitorUnpark,
+    /// About to make a monitor release visible (PSRO hook already ran).
+    MonitorRelease,
+    /// About to park inside `Object.wait()` (monitor already released).
+    MonitorWaitPark,
+    /// About to wake every waiter (`notifyAll`).
+    MonitorNotify,
+    /// Just enqueued an explicit coordination request (requester side).
+    CoordRequest,
+    /// About to answer pending explicit requests (responder side).
+    CoordRespond,
+    /// About to publish BLOCKED at a generic blocking safe point.
+    BlockedPublish,
+}
+
+/// A deterministic schedule-perturbation layer, registered on a [`Runtime`]
+/// via [`Runtime::set_sched_hooks`].
+///
+/// `perturb` is always invoked by thread `t` itself, at the [`SchedPoint`]s
+/// above; implementations delay the calling thread (yield, sleep, spin) or
+/// do nothing. Production runs register no hooks, and every call site
+/// reduces to a branch on a `None`.
+pub trait SchedHooks: Send + Sync + std::fmt::Debug {
+    /// Possibly delay the calling thread `t` at `point`.
+    fn perturb(&self, t: ThreadId, point: SchedPoint);
+}
+
+/// Is the deliberately-injected protocol bug `name` enabled via the
+/// `DRINK_INJECT_BUG` env var? Only consulted from `check-invariants`
+/// builds; the checking harness uses it to prove the chaos matrix catches
+/// real protocol violations (see DESIGN.md §9).
+pub fn injected_bug(name: &str) -> bool {
+    static CACHE: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| std::env::var("DRINK_INJECT_BUG").ok())
+        .as_deref()
+        == Some(name)
+}
+
 /// Callbacks invoked by the substrate at the program points where a managed
 /// runtime would run tracking instrumentation.
 ///
@@ -78,6 +135,15 @@ pub trait RtHooks {
     /// Program synchronization release operation: monitor release, monitor
     /// wait (which releases the monitor), thread fork, thread exit.
     fn on_psro(&self, t: ThreadId);
+
+    /// A schedule-relevant point was reached by thread `t`. The substrate
+    /// calls this inside monitor spin/park/notify windows; engines forward
+    /// it to the runtime's registered [`SchedHooks`] layer (if any). The
+    /// default is a no-op, so only perturbed runs pay anything.
+    #[inline]
+    fn sched_point(&self, t: ThreadId, point: SchedPoint) {
+        let _ = (t, point);
+    }
 }
 
 /// A no-op hook implementation, useful for untracked baseline runs and tests

@@ -18,11 +18,12 @@
 //! exclusion (§7.6: "the replayer elides program synchronization operations
 //! and replays only the recorded dependences").
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::control::ThreadControl;
 use crate::ids::ThreadId;
-use crate::RtHooks;
+use crate::spin::{park_budget, DEFAULT_BUDGET};
+use crate::{RtHooks, SchedPoint};
 
 #[derive(Debug, Default)]
 struct MonState {
@@ -54,6 +55,36 @@ pub struct AcquireInfo {
 enum TryAcquire {
     Taken(AcquireInfo),
     Contended,
+}
+
+/// Park on `cv` until `ready(&st)` holds, with the same watchdog contract as
+/// [`crate::spin::Spin`]: condvar parks are the one wait a spinner cannot
+/// cover, and a parked thread whose wake-up depends on a peer that died
+/// mid-protocol would hang the process silently. With the watchdog disabled
+/// (zero budget) this is a plain condition-variable loop.
+fn park_until(
+    cv: &Condvar,
+    st: &mut MutexGuard<'_, MonState>,
+    what: &'static str,
+    mut ready: impl FnMut(&MonState) -> bool,
+) {
+    let budget = park_budget(DEFAULT_BUDGET);
+    let mut started = None;
+    while !ready(st) {
+        match budget {
+            None => cv.wait(st),
+            Some(b) => {
+                let t0 = *started.get_or_insert_with(std::time::Instant::now);
+                cv.wait_for(st, b);
+                if !ready(st) && t0.elapsed() >= b {
+                    panic!(
+                        "park watchdog expired after {:?} while waiting for: {what}",
+                        t0.elapsed()
+                    );
+                }
+            }
+        }
+    }
 }
 
 /// A reentrant program monitor with wait/notify.
@@ -130,6 +161,7 @@ impl Monitor {
         // periodically so the holder can run on oversubscribed machines.
         for i in 0..spin_iters {
             hooks.poll(t);
+            hooks.sched_point(t, SchedPoint::MonitorAcquireSpin);
             if i % 8 == 7 {
                 std::thread::yield_now();
             } else {
@@ -146,13 +178,14 @@ impl Monitor {
         hooks.before_block(t);
         let block_epoch = control.publish_blocked();
         hooks.on_blocked_publish(t);
+        hooks.sched_point(t, SchedPoint::MonitorPark);
 
         let prev_release;
         {
             let mut st = self.state.lock();
-            while st.held_by.is_some() {
-                self.acquire_cv.wait(&mut st);
-            }
+            park_until(&self.acquire_cv, &mut st, "contended monitor acquire", |s| {
+                s.held_by.is_none()
+            });
             st.held_by = Some(t);
             st.recursion = 1;
             prev_release = st.last_release;
@@ -160,6 +193,7 @@ impl Monitor {
 
         let implicit_bumped = control.return_to_running(block_epoch);
         hooks.after_unblock(t, implicit_bumped);
+        hooks.sched_point(t, SchedPoint::MonitorUnpark);
 
         AcquireInfo {
             blocked: true,
@@ -178,6 +212,7 @@ impl Monitor {
         // PSRO instrumentation first: flush pessimistic states, bump clock.
         hooks.on_psro(t);
         let clock = control.release_clock();
+        hooks.sched_point(t, SchedPoint::MonitorRelease);
         let mut st = self.state.lock();
         assert_eq!(st.held_by, Some(t), "release of monitor not held by {t}");
         st.recursion -= 1;
@@ -202,6 +237,7 @@ impl Monitor {
         hooks.before_block(t);
         let block_epoch = control.publish_blocked();
         hooks.on_blocked_publish(t);
+        hooks.sched_point(t, SchedPoint::MonitorWaitPark);
 
         let prev_release;
         {
@@ -215,13 +251,13 @@ impl Monitor {
             self.acquire_cv.notify_one();
 
             // Park until a notify advances the generation.
-            while st.wait_generation == my_generation {
-                self.wait_cv.wait(&mut st);
-            }
+            park_until(&self.wait_cv, &mut st, "monitor notify", |s| {
+                s.wait_generation != my_generation
+            });
             // Re-acquire.
-            while st.held_by.is_some() {
-                self.acquire_cv.wait(&mut st);
-            }
+            park_until(&self.acquire_cv, &mut st, "monitor re-acquire after wait", |s| {
+                s.held_by.is_none()
+            });
             st.held_by = Some(t);
             st.recursion = saved_recursion;
             prev_release = st.last_release;
@@ -229,6 +265,7 @@ impl Monitor {
 
         let implicit_bumped = control.return_to_running(block_epoch);
         hooks.after_unblock(t, implicit_bumped);
+        hooks.sched_point(t, SchedPoint::MonitorUnpark);
 
         AcquireInfo {
             blocked: true,

@@ -3,12 +3,14 @@
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use crate::control::ThreadControl;
 use crate::heap::Heap;
 use crate::ids::{MonitorId, ObjId, ThreadId};
 use crate::monitor::{AcquireInfo, Monitor};
 use crate::stats::GlobalStats;
-use crate::RtHooks;
+use crate::{RtHooks, SchedHooks, SchedPoint};
 
 /// Sizing and tuning knobs for one [`Runtime`] instance.
 #[derive(Clone, Debug)]
@@ -40,7 +42,7 @@ impl Default for RuntimeConfig {
             max_threads: 64,
             heap_objects: 1024,
             monitors: 16,
-            spin_budget: crate::spin::Spin::DEFAULT_BUDGET,
+            spin_budget: crate::spin::DEFAULT_BUDGET,
             monitor_spin_iters: 300,
             padded_headers: false,
         }
@@ -77,6 +79,9 @@ pub struct Runtime {
     g_rdsh_count: AtomicU64,
     next_tid: AtomicU16,
     stats: GlobalStats,
+    /// Optional schedule-perturbation layer (crate `drink-check`). `None` in
+    /// production runs; every perturbation site reduces to one branch.
+    sched: Option<Arc<dyn SchedHooks>>,
 }
 
 impl Runtime {
@@ -101,6 +106,23 @@ impl Runtime {
             g_rdsh_count: AtomicU64::new(1),
             next_tid: AtomicU16::new(0),
             stats: GlobalStats::new(),
+            sched: None,
+        }
+    }
+
+    /// Register a schedule-perturbation layer. Must be called before the
+    /// runtime is shared (it takes `&mut self`); the harness does this right
+    /// after construction, before wrapping the runtime in an `Arc`.
+    pub fn set_sched_hooks(&mut self, sched: Arc<dyn SchedHooks>) {
+        self.sched = Some(sched);
+    }
+
+    /// Report that thread `t` reached schedule-relevant point `point`,
+    /// letting the registered [`SchedHooks`] layer (if any) delay it.
+    #[inline]
+    pub fn sched_point(&self, t: ThreadId, point: SchedPoint) {
+        if let Some(sched) = &self.sched {
+            sched.perturb(t, point);
         }
     }
 
@@ -198,12 +220,21 @@ impl Runtime {
         self.monitor(m).notify_all()
     }
 
+    /// Notify all waiters of monitor `m`, attributing the notify to thread
+    /// `t` so a perturbation layer can delay it inside the notify window
+    /// (the classic lost-wakeup race is notify-before-park).
+    pub fn monitor_notify_all_from(&self, m: MonitorId, t: ThreadId) {
+        self.sched_point(t, SchedPoint::MonitorNotify);
+        self.monitor(m).notify_all()
+    }
+
     /// Run an arbitrary blocking operation (thread join, I/O stand-in, timed
     /// sleep) as a blocking safe point: flush → publish BLOCKED → respond to
     /// raced requests → run `f` → return to RUNNING. Returns `f`'s result and
     /// whether implicit coordination occurred while blocked.
     pub fn blocking<H: RtHooks, R>(&self, t: ThreadId, hooks: &H, f: impl FnOnce() -> R) -> (R, bool) {
         hooks.before_block(t);
+        hooks.sched_point(t, SchedPoint::BlockedPublish);
         let epoch = self.control(t).publish_blocked();
         hooks.on_blocked_publish(t);
         let r = f();
@@ -213,8 +244,18 @@ impl Runtime {
     }
 
     /// A watchdog spinner configured with this runtime's spin budget.
-    pub fn spinner(&self, what: &'static str) -> crate::spin::Spin {
+    pub fn spinner(&self, what: &'static str) -> crate::spin::Spin<'_> {
         crate::spin::Spin::with_budget(what, self.config.spin_budget)
+    }
+
+    /// Like [`Runtime::spinner`], but with the registered perturbation layer
+    /// (if any) attached so each backoff step of thread `t` can be delayed.
+    pub fn spinner_for(&self, t: ThreadId, what: &'static str) -> crate::spin::Spin<'_> {
+        let spin = self.spinner(what);
+        match &self.sched {
+            Some(sched) => spin.with_sched(&**sched, t),
+            None => spin,
+        }
     }
 }
 

@@ -8,42 +8,90 @@
 //! goes through [`Spin`], which backs off politely and panics with a
 //! descriptive message if a configurable deadline passes.
 
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+use crate::ids::ThreadId;
+use crate::{SchedHooks, SchedPoint};
+
+/// Default watchdog budget used when neither the runtime config nor the
+/// `DRINK_SPIN_BUDGET_MS` env var overrides it. Generous enough for heavily
+/// oversubscribed CI machines.
+pub const DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+
+/// `DRINK_SPIN_BUDGET_MS`, parsed once. CI boxes set it to tighten the 60 s
+/// default so protocol hangs fail in seconds instead of minutes; it overrides
+/// *every* spinner's budget, including explicitly configured ones (a value of
+/// `0` disables every watchdog).
+fn env_budget() -> Option<Duration> {
+    static CACHE: OnceLock<Option<Duration>> = OnceLock::new();
+    *CACHE.get_or_init(|| parse_budget_ms(std::env::var("DRINK_SPIN_BUDGET_MS").ok()?.as_str()))
+}
+
+/// Parse a `DRINK_SPIN_BUDGET_MS` value. Split out for testability (the env
+/// lookup itself is cached process-wide).
+fn parse_budget_ms(s: &str) -> Option<Duration> {
+    s.trim().parse::<u64>().ok().map(Duration::from_millis)
+}
+
+/// Watchdog budget for condvar *parks* (the one wait a [`Spin`] can't
+/// cover): `DRINK_SPIN_BUDGET_MS` if set, else `configured`; `None` when the
+/// effective budget is zero (watchdog disabled). A parked thread whose
+/// wake-up depends on a peer that died mid-protocol would otherwise hang the
+/// process silently — the checking harness relies on this to turn injected
+/// protocol bugs into bounded, reportable failures.
+pub fn park_budget(configured: Duration) -> Option<Duration> {
+    let b = env_budget().unwrap_or(configured);
+    (!b.is_zero()).then_some(b)
+}
 
 /// Exponential-backoff spinner with a deadline watchdog.
 ///
 /// The first few iterations use `core::hint::spin_loop`, then the spinner
 /// starts yielding to the OS scheduler; this keeps latency low for the
 /// short waits that dominate (a remote thread reaching its next safe point)
-/// without burning a core during long replay waits.
-pub struct Spin {
+/// without burning a core during long replay waits. The escalation to
+/// `yield_now` happens even with the watchdog disabled (zero budget): the
+/// protocols in this workspace wait on *other threads'* progress, so a
+/// watchdog-free spinner that stayed in `spin_loop` would starve exactly the
+/// thread being waited for on oversubscribed machines.
+pub struct Spin<'h> {
     what: &'static str,
     deadline: Option<Instant>,
     budget: Duration,
     iters: u32,
     started: Option<Instant>,
+    sched: Option<(&'h dyn SchedHooks, ThreadId)>,
 }
 
-impl Spin {
-    /// Default watchdog budget used when the runtime config does not override
-    /// it. Generous enough for heavily oversubscribed CI machines.
-    pub const DEFAULT_BUDGET: Duration = Duration::from_secs(60);
+impl<'h> Spin<'h> {
+    /// Default watchdog budget (see [`DEFAULT_BUDGET`]).
+    pub const DEFAULT_BUDGET: Duration = DEFAULT_BUDGET;
 
     /// A spinner for the wait described by `what` (used in the panic message).
     pub fn new(what: &'static str) -> Self {
-        Spin::with_budget(what, Spin::DEFAULT_BUDGET)
+        Spin::with_budget(what, DEFAULT_BUDGET)
     }
 
     /// A spinner with an explicit watchdog budget. A zero budget disables the
-    /// watchdog entirely (spins forever).
+    /// watchdog entirely (spins forever, yielding to the OS after the
+    /// `spin_loop` phase). `DRINK_SPIN_BUDGET_MS`, if set, overrides `budget`.
     pub fn with_budget(what: &'static str, budget: Duration) -> Self {
         Spin {
             what,
             deadline: None,
-            budget,
+            budget: env_budget().unwrap_or(budget),
             iters: 0,
             started: None,
+            sched: None,
         }
+    }
+
+    /// Attach a schedule-perturbation layer: every backoff step reports a
+    /// [`SchedPoint::SpinBackoff`] for thread `t`.
+    pub fn with_sched(mut self, sched: &'h dyn SchedHooks, t: ThreadId) -> Self {
+        self.sched = Some((sched, t));
+        self
     }
 
     /// One backoff step. Panics if the watchdog budget is exhausted, which in
@@ -57,19 +105,24 @@ impl Spin {
     #[inline]
     pub fn spin(&mut self) {
         self.iters += 1;
+        if let Some((sched, t)) = self.sched {
+            sched.perturb(t, SchedPoint::SpinBackoff);
+        }
         if self.iters < 16 {
             core::hint::spin_loop();
+            return;
+        }
+        if self.budget.is_zero() {
+            // Watchdog disabled: never read the clock, but still escalate
+            // from spin_loop to yielding so the waited-for thread can run.
+            std::thread::yield_now();
             return;
         }
         // Arm the watchdog lazily so that the fast path never reads the clock.
         let now = Instant::now();
         let deadline = *self.deadline.get_or_insert_with(|| {
             self.started = Some(now);
-            if self.budget.is_zero() {
-                now + Duration::from_secs(u64::MAX / 4)
-            } else {
-                now + self.budget
-            }
+            now + self.budget
         });
         if now >= deadline {
             panic!(
@@ -110,11 +163,45 @@ mod tests {
     }
 
     #[test]
-    fn zero_budget_disables_watchdog() {
+    fn zero_budget_disables_watchdog_without_arming_a_deadline() {
         let mut s = Spin::with_budget("unbounded wait", Duration::ZERO);
         for _ in 0..5_000 {
             s.spin();
         }
         assert!(s.iterations() >= 5_000);
+        assert!(
+            s.deadline.is_none() && s.started.is_none(),
+            "zero budget must never touch the clock"
+        );
+    }
+
+    #[test]
+    fn budget_env_values_parse_to_millis() {
+        assert_eq!(parse_budget_ms("250"), Some(Duration::from_millis(250)));
+        assert_eq!(parse_budget_ms(" 1000 "), Some(Duration::from_secs(1)));
+        assert_eq!(parse_budget_ms("0"), Some(Duration::ZERO));
+        assert_eq!(parse_budget_ms("nope"), None);
+        assert_eq!(parse_budget_ms(""), None);
+    }
+
+    #[test]
+    fn sched_layer_sees_every_backoff_step() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+
+        #[derive(Debug, Default)]
+        struct Counter(AtomicU32);
+        impl SchedHooks for Counter {
+            fn perturb(&self, _t: ThreadId, point: SchedPoint) {
+                assert_eq!(point, SchedPoint::SpinBackoff);
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        let counter = Counter::default();
+        let mut s = Spin::new("counted wait").with_sched(&counter, ThreadId(3));
+        for _ in 0..40 {
+            s.spin();
+        }
+        assert_eq!(counter.0.load(Ordering::Relaxed), 40);
     }
 }

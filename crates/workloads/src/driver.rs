@@ -56,13 +56,20 @@ impl RunResult {
     }
 }
 
-/// Build a runtime sized for `spec`.
-pub fn runtime_for(spec: &WorkloadSpec) -> Arc<Runtime> {
+/// The runtime configuration a spec needs (callers that want to tweak the
+/// config — or register [`drink_runtime::SchedHooks`] before sharing the
+/// runtime — build on this instead of [`runtime_for`]).
+pub fn runtime_config_for(spec: &WorkloadSpec) -> RuntimeConfig {
     let mut cfg = RuntimeConfig::sized(spec.threads, spec.heap_objects(), spec.monitors.max(1));
     if let Some(spin) = spec.monitor_spin {
         cfg.monitor_spin_iters = spin;
     }
-    Arc::new(Runtime::new(cfg))
+    cfg
+}
+
+/// Build a runtime sized for `spec`.
+pub fn runtime_for(spec: &WorkloadSpec) -> Arc<Runtime> {
+    Arc::new(Runtime::new(runtime_config_for(spec)))
 }
 
 /// The deterministic local-computation kernel (an `Op::Work` unit).
@@ -203,7 +210,13 @@ impl EngineKind {
 
 /// Construct a fresh runtime + engine of the given kind and run `spec` on it.
 pub fn run_kind(kind: EngineKind, spec: &WorkloadSpec) -> RunResult {
-    let rt = runtime_for(spec);
+    run_kind_on(kind, runtime_for(spec), spec)
+}
+
+/// Run `spec` under `kind` on a caller-provided runtime (which must be sized
+/// by [`runtime_config_for`] or larger; the chaos harness uses this to
+/// register schedule hooks before the runtime is shared).
+pub fn run_kind_on(kind: EngineKind, rt: Arc<Runtime>, spec: &WorkloadSpec) -> RunResult {
     match kind {
         EngineKind::Baseline => run_workload(&NoTracking::new(rt), spec),
         EngineKind::Pessimistic => run_workload(&PessimisticEngine::new(rt), spec),

@@ -18,8 +18,12 @@ pub mod record_replay;
 pub mod rs_driver;
 pub mod spec;
 
-pub use driver::{run_kind, run_workload, runtime_for, EngineKind, RunResult};
+pub use driver::{
+    run_kind, run_kind_on, run_workload, runtime_config_for, runtime_for, EngineKind, RunResult,
+};
 pub use profiles::{all as all_profiles, by_name, scaled, PaperRef, Profile};
 pub use record_replay::{record, replay, replay_with, RecordOutcome, RecorderKind};
 pub use rs_driver::{run_rs, run_rs_on, RsKind};
-pub use spec::{racy_inc, sync_inc, Op, WorkloadSpec};
+pub use spec::{
+    chaos_disjoint, chaos_handoff, chaos_mix, racy_inc, sync_inc, Op, WorkloadSpec,
+};

@@ -20,6 +20,9 @@ cargo build --release
 echo "=== bench_gate: tier-1 test suite"
 cargo test -q
 
+echo "=== bench_gate: chaos check gate"
+scripts/check_gate.sh
+
 echo "=== bench_gate: hot-path microbench -> $OUT"
 ./target/release/hotpath "$OUT"
 

@@ -1,0 +1,56 @@
+#!/bin/bash
+# Check gate: the drink-check schedule-exploration harness as a CI step.
+#
+#   scripts/check_gate.sh [artifact-dir]
+#
+# Three legs, all required:
+#
+#   1. Build the harness with the invariant layer compiled in
+#      (`check-invariants` is a non-default feature: the plain workspace
+#      release build — and hence the hot-path bench — never pays for it).
+#   2. Clean fixed-seed smoke matrix: 3 engines x 4 seeds x 2 workloads
+#      plus the differential / replay / RS oracles. Must pass.
+#   3. Canary: re-run the matrix with a deliberately injected protocol bug
+#      (DRINK_INJECT_BUG=skip-flush-before-block). The harness must CATCH
+#      it (nonzero exit, artifact written), and `--reproduce` on the saved
+#      artifact must fail again — proving the seed+trace actually pins the
+#      failure. A canary that passes means the harness has gone blind, and
+#      the gate fails.
+#
+# The canary leg tightens DRINK_SPIN_BUDGET_MS so deliberate protocol
+# wedges fail in seconds; `--fail-fast` stops at the first caught cell
+# instead of grinding every remaining cell through its watchdog.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACTS="${1:-target/chaos-gate}"
+SMOKE=./target/release/chaos_smoke
+
+echo "=== check_gate: build harness (check-invariants)"
+cargo build --release -p drink-check --features check-invariants
+
+echo "=== check_gate: clean smoke matrix"
+"$SMOKE" --artifact-dir "$ARTIFACTS"
+
+echo "=== check_gate: injected-bug canary (skip-flush-before-block)"
+rm -rf "$ARTIFACTS/canary"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-flush-before-block \
+    "$SMOKE" --fail-fast --artifact-dir "$ARTIFACTS/canary"; then
+  echo "check_gate: FAIL — injected bug was NOT caught (harness is blind)" >&2
+  exit 1
+fi
+
+artifact="$(ls "$ARTIFACTS"/canary/*.json 2>/dev/null | head -n1 || true)"
+if [ -z "$artifact" ]; then
+  echo "check_gate: FAIL — canary failed but wrote no artifact" >&2
+  exit 1
+fi
+
+echo "=== check_gate: reproduce canary artifact ($artifact)"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-flush-before-block \
+    "$SMOKE" --reproduce "$artifact"; then
+  echo "check_gate: FAIL — canary artifact did not reproduce" >&2
+  exit 1
+fi
+
+echo "=== check_gate: OK (bug caught, artifact reproduces)"

@@ -1,9 +1,9 @@
 //! Offline stand-in for the `parking_lot` crate, backed by `std::sync`.
 //!
 //! Implements the subset of the API this workspace uses: `Mutex` (non-poisoning
-//! `lock`) and `Condvar` (`wait`, `notify_one`, `notify_all`). Poisoning is
-//! deliberately ignored to match parking_lot semantics: a panic while holding
-//! the lock does not make later `lock()` calls fail.
+//! `lock`) and `Condvar` (`wait`, `wait_for`, `notify_one`, `notify_all`).
+//! Poisoning is deliberately ignored to match parking_lot semantics: a panic
+//! while holding the lock does not make later `lock()` calls fail.
 
 use std::ops::{Deref, DerefMut};
 
@@ -106,6 +106,25 @@ impl Condvar {
         guard.inner = Some(std_guard);
     }
 
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken");
+        let (std_guard, res) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     pub fn notify_one(&self) -> bool {
         self.inner.notify_one();
         true
@@ -114,6 +133,17 @@ impl Condvar {
     pub fn notify_all(&self) -> usize {
         self.inner.notify_all();
         0
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 

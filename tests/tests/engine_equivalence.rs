@@ -1,8 +1,16 @@
 //! Cross-engine equivalence and quiescence invariants.
+//!
+//! The unperturbed tests here pin the baseline equivalences; the
+//! `*_under_chaos` tests re-run the same oracles through `drink-check`'s
+//! seeded schedule-perturbation layer, which is where schedule-dependent
+//! protocol bugs actually surface.
 
+use drink_check::{differential_check, replay_check, rs_check, run_cell, MATRIX_ENGINES};
 use drink_core::prelude::Tracker;
 use drink_core::word::{Kind, StateWord};
-use drink_workloads::{run_kind, run_rs, EngineKind, RsKind, WorkloadSpec};
+use drink_workloads::{
+    chaos_disjoint, chaos_handoff, chaos_mix, run_kind, run_rs, EngineKind, RsKind, WorkloadSpec,
+};
 
 /// A workload whose final heap is schedule-independent: threads touch only
 /// their private partitions plus a read-only shared region.
@@ -127,4 +135,36 @@ fn transition_counts_partition_accesses() {
             "{kind:?}: transition categories must partition accesses"
         );
     }
+}
+
+// --- Chaos-seeded differential checks (via drink-check) ---
+
+#[test]
+fn differential_oracle_holds_under_chaos() {
+    // Disjoint spec: full oracle (access counts + heap vs baseline + zero
+    // conflicts). Seed doubles as the chaos decision-stream seed.
+    differential_check(&chaos_disjoint(0x51), 0x51)
+        .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+}
+
+#[test]
+fn perturbed_matrix_cells_stay_quiescent() {
+    // Racy + locked specs under perturbation: every engine must complete,
+    // end quiescent, and leak no coordination requests.
+    for spec in [chaos_mix(0x52), chaos_handoff(0x53)] {
+        for kind in MATRIX_ENGINES {
+            let cell = run_cell(kind, &spec, 0x54)
+                .unwrap_or_else(|a| panic!("{} / {}: {}", spec.name, a.engine, a.failure));
+            assert!(
+                cell.traces.iter().map(Vec::len).sum::<usize>() > 0,
+                "chaos layer recorded no decisions — hooks not wired?"
+            );
+        }
+    }
+}
+
+#[test]
+fn replay_and_rs_oracles_hold_under_chaos() {
+    replay_check(&chaos_mix(0x55)).unwrap();
+    rs_check(&chaos_handoff(0x56), 0x56).unwrap();
 }
