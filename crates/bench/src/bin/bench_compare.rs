@@ -1,0 +1,125 @@
+//! Regression comparator for the bench gate: compares a freshly measured
+//! bench report (`hotpath` or `contention`) against the checked-in baseline
+//! JSON and fails if any row's median regresses beyond the threshold.
+//!
+//! ```bash
+//! bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]...
+//! ```
+//!
+//! Rows are matched by name. A row present only on one side is reported but
+//! never fails the gate (new benches land before their baseline; retired
+//! rows disappear from fresh reports). Rows matching an `--advisory` name
+//! prefix are compared and reported but never fail the gate either — for
+//! measurements whose run-to-run distribution is known-bimodal on a shared
+//! host (see DESIGN.md §10 on the always-optimistic contention rows).
+//! Exit status: 0 clean, 1 regression, 2 usage/IO error.
+
+use serde::Deserialize;
+
+#[derive(Deserialize)]
+struct Row {
+    name: String,
+    #[allow(dead_code)]
+    iters: u64,
+    ns_per_op: f64,
+}
+
+#[derive(Deserialize)]
+struct Report {
+    schema: String,
+    rows: Vec<Row>,
+}
+
+fn load(path: &str) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let threshold: f64 = args
+        .iter()
+        .position(|a| a == "--threshold")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25.0);
+    let advisory: Vec<&String> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--advisory")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .collect();
+    let positional: Vec<&String> = {
+        let mut skip = false;
+        args.iter()
+            .filter(|a| {
+                if skip {
+                    skip = false;
+                    return false;
+                }
+                if *a == "--threshold" || *a == "--advisory" {
+                    skip = true;
+                    return false;
+                }
+                true
+            })
+            .collect()
+    };
+    let [base_path, fresh_path] = positional.as_slice() else {
+        eprintln!(
+            "usage: bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]..."
+        );
+        std::process::exit(2);
+    };
+
+    let (base, fresh) = match (load(base_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            std::process::exit(2);
+        }
+    };
+    if base.schema != fresh.schema {
+        eprintln!(
+            "bench_compare: schema mismatch ({} vs {})",
+            base.schema, fresh.schema
+        );
+        std::process::exit(2);
+    }
+
+    let mut regressions = 0u32;
+    for row in &fresh.rows {
+        match base.rows.iter().find(|b| b.name == row.name) {
+            Some(b) if b.ns_per_op > 0.0 => {
+                let delta = (row.ns_per_op / b.ns_per_op - 1.0) * 100.0;
+                let verdict = if delta <= threshold {
+                    "ok"
+                } else if advisory.iter().any(|p| row.name.starts_with(p.as_str())) {
+                    "over threshold (advisory row)"
+                } else {
+                    regressions += 1;
+                    "REGRESSED"
+                };
+                println!(
+                    "{:<28} {:>10.2} -> {:>10.2} ns/op  {:>+7.1}%  {verdict}",
+                    row.name, b.ns_per_op, row.ns_per_op, delta
+                );
+            }
+            Some(_) => println!("{:<28} baseline is zero; skipped", row.name),
+            None => println!("{:<28} new row (no baseline)", row.name),
+        }
+    }
+    for b in &base.rows {
+        if !fresh.rows.iter().any(|r| r.name == b.name) {
+            println!("{:<28} retired (baseline only)", b.name);
+        }
+    }
+
+    if regressions > 0 {
+        eprintln!(
+            "bench_compare: {regressions} row(s) regressed more than {threshold}% vs {base_path}"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_compare: {} row(s) within {threshold}% of {base_path}", fresh.rows.len());
+}

@@ -1,0 +1,187 @@
+//! Multi-thread contention benchmark for the coordination layer:
+//!
+//! 1. **raw all-peer coordination** — a requester fans out to N−1 polling
+//!    responders through `coordinate_many` (overlapped roundtrips, latency =
+//!    max of peers) and through the sequential reference
+//!    `coordinate_all_seq` (one full roundtrip per peer, latency = sum of
+//!    peers), at 2/4/8 registered threads. The `fanout` vs `fanout_seq` pair
+//!    at each width is the bench gate's evidence that the fan-out rework
+//!    actually pays under contention;
+//! 2. **engine-level conflicting-transition throughput** — the RdSh-heavy
+//!    `chaosRdsh` op mix (no chaos scheduler here: plain timed runs) on
+//!    Pess/Opt/Hybrid at 2/4/8 threads, reported as ns per tracked access.
+//!
+//! Like `hotpath`, iteration counts are fixed so runs are comparable across
+//! commits; every row takes the **minimum** of `--trials` (default 5)
+//! measurements. Multi-thread numbers on a loaded (often single-core) CI
+//! host carry strictly additive scheduler noise, so the min — not the
+//! median — is the run-to-run-stable comparator the 25% regression gate
+//! needs. Emits machine-readable `BENCH_contention.json` for
+//! `scripts/bench_gate.sh`.
+//!
+//! ```bash
+//! cargo run --release -p drink-bench --bin contention -- [out.json] [--trials N] [--scale F]
+//! ```
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use drink_bench::{scale_from_args, trials_from_args};
+use drink_core::coord::{coordinate_all_seq, coordinate_many, PendingPeer};
+use drink_runtime::{Runtime, RuntimeConfig, Spin, ThreadId};
+use drink_workloads::{chaos_rdsh, run_kind, EngineKind, WorkloadSpec};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    iters: u64,
+    ns_per_op: f64,
+}
+
+/// Thread widths the paper's scalability plots use at the low end; 8 is the
+/// acceptance width for the fan-out-vs-sequential comparison.
+const WIDTHS: [usize; 3] = [2, 4, 8];
+
+#[derive(Serialize)]
+struct Report {
+    schema: String,
+    rows: Vec<Row>,
+}
+
+fn push_row(rows: &mut Vec<Row>, name: String, iters: u64, ns: f64) {
+    println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters)");
+    rows.push(Row { name, iters, ns_per_op: ns });
+}
+
+/// Raw all-peer coordination latency against `n - 1` polling responders.
+/// Every peer stays RUNNING, so every resolution is a full explicit
+/// roundtrip — the worst case the RdSh conflict path can hit.
+fn raw_all_peer(rows: &mut Vec<Row>, n: usize, iters: u64, trials: usize, fanout: bool) {
+    let rt = Runtime::new(RuntimeConfig::sized(n, 64, 1));
+    let me = rt.register_thread();
+    let peers: Vec<ThreadId> = (1..n).map(|_| rt.register_thread()).collect();
+    let stop = AtomicBool::new(false);
+    let ready = std::sync::atomic::AtomicUsize::new(0);
+
+    let mut samples = Vec::with_capacity(trials);
+    std::thread::scope(|s| {
+        for &peer in &peers {
+            let rt = &rt;
+            let stop = &stop;
+            let ready = &ready;
+            s.spawn(move || {
+                let ctl = rt.control(peer);
+                ready.fetch_add(1, Ordering::Release);
+                while !stop.load(Ordering::Acquire) {
+                    for req in ctl.take_requests() {
+                        req.token.complete(ctl.bump_release_clock());
+                    }
+                    // Yield between polls: on a single-core host a tight
+                    // poll loop would starve the requester and the other
+                    // responders for a whole scheduler quantum.
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let mut spin = Spin::new("contention responders ready");
+        while ready.load(Ordering::Acquire) != peers.len() {
+            spin.spin();
+        }
+
+        let mut sources: Vec<(ThreadId, u64)> = Vec::with_capacity(n);
+        let mut pending: Vec<PendingPeer> = Vec::with_capacity(n);
+        let mut one_round = |iters: u64| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                sources.clear();
+                let mode = if fanout {
+                    coordinate_many(&rt, me, None, &mut || {}, &mut sources, &mut pending)
+                } else {
+                    coordinate_all_seq(&rt, me, None, &mut || {}, &mut sources)
+                };
+                debug_assert_eq!(sources.len(), n - 1);
+                black_box(mode);
+            }
+            start.elapsed().as_nanos() as f64 / iters as f64
+        };
+        one_round(iters / 10 + 1); // warmup
+        for _ in 0..trials {
+            samples.push(one_round(iters));
+        }
+        stop.store(true, Ordering::Release);
+    });
+
+    let best = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let label = if fanout { "fanout" } else { "fanout_seq" };
+    push_row(rows, format!("rdsh_conflict_{label}_{n}"), iters, best);
+}
+
+/// The engine-level op mix: `chaosRdsh`'s RdSh-heavy profile rescaled to the
+/// requested thread count (no chaos hooks — plain timed runs).
+fn contention_spec(threads: usize, steps: usize) -> WorkloadSpec {
+    let mut spec = chaos_rdsh(0xC0_47EA);
+    spec.name = format!("contend{threads}");
+    spec.threads = threads;
+    spec.steps_per_thread = steps;
+    spec
+}
+
+/// Conflicting-transition throughput per engine and width: best-of-trials
+/// wall time over the same deterministic op streams, reported per tracked
+/// access.
+fn engine_throughput(rows: &mut Vec<Row>, scale: f64, trials: usize) {
+    let steps = ((4000.0 * scale) as usize).max(200);
+    for n in WIDTHS {
+        let spec = contention_spec(n, steps);
+        for (tag, kind) in [
+            ("pess", EngineKind::Pessimistic),
+            ("opt", EngineKind::Optimistic),
+            ("hybrid", EngineKind::Hybrid),
+        ] {
+            let mut best = std::time::Duration::MAX;
+            let mut accesses = 1u64;
+            for _ in 0..trials {
+                let r = run_kind(kind, &spec);
+                accesses = r.report.accesses().max(1);
+                best = best.min(r.wall);
+            }
+            let ns = best.as_nanos() as f64 / accesses as f64;
+            push_row(rows, format!("{tag}_access_t{n}"), accesses, ns);
+        }
+    }
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .filter(|a| !a.starts_with("--"))
+        .unwrap_or_else(|| "BENCH_contention.json".to_string());
+    // Fail on an unwritable path now, not after minutes of measurement.
+    if let Err(e) = std::fs::write(&out, "") {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    }
+    let scale = scale_from_args();
+    let trials = trials_from_args(5);
+    let iters = ((2000.0 * scale) as u64).max(100);
+
+    let mut rows = Vec::new();
+    for n in WIDTHS {
+        raw_all_peer(&mut rows, n, iters, trials, true);
+        raw_all_peer(&mut rows, n, iters, trials, false);
+    }
+    engine_throughput(&mut rows, scale, trials);
+
+    let report = Report {
+        schema: "drink-bench/contention/v1".to_string(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&report).unwrap();
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out}");
+}

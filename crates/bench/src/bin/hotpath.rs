@@ -10,11 +10,13 @@
 //!
 //! Unlike the criterion benches (which auto-size their sample counts), this
 //! binary runs **fixed** iteration counts so runs are comparable across
-//! commits, and emits machine-readable `BENCH_hotpath.json` for the bench
+//! commits — each row is the minimum of `--trials` (default 3) back-to-back
+//! measurements, since host-load noise on shared CI boxes is strictly
+//! additive — and emits machine-readable `BENCH_hotpath.json` for the bench
 //! gate (`scripts/bench_gate.sh`).
 //!
 //! ```bash
-//! cargo run --release -p drink-bench --bin hotpath -- [out.json]
+//! cargo run --release -p drink-bench --bin hotpath -- [out.json] [--trials N]
 //! ```
 
 use std::hint::black_box;
@@ -44,12 +46,16 @@ struct Report {
     rows: Vec<Row>,
 }
 
-fn measure(name: &str, iters: u64, f: impl FnOnce()) -> Row {
-    let start = Instant::now();
-    f();
-    let elapsed = start.elapsed();
-    let ns = elapsed.as_nanos() as f64 / iters as f64;
-    println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters)");
+fn measure(name: &str, iters: u64, mut f: impl FnMut()) -> Row {
+    let trials = drink_bench::trials_from_args(3);
+    let ns = (0..trials)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min);
+    println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters, best of {trials})");
     Row {
         name: name.to_string(),
         iters,
@@ -214,6 +220,7 @@ fn heap_layouts(rows: &mut Vec<Row>) {
 fn main() {
     let out = std::env::args()
         .nth(1)
+        .filter(|a| !a.starts_with("--"))
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
     // Fail on an unwritable path now, not after minutes of measurement.
     if let Err(e) = std::fs::write(&out, "") {

@@ -1,8 +1,8 @@
 //! The chaos smoke matrix: the fixed-seed schedule-exploration run CI
 //! executes (`scripts/check_gate.sh`).
 //!
-//! Default matrix: 3 tracking engines × 4 seeds × 2 perturbation-heavy
-//! workloads (`chaosMix`, `chaosHandoff`), plus — per seed — the
+//! Default matrix: 3 tracking engines × 4 seeds × 3 perturbation-heavy
+//! workloads (`chaosMix`, `chaosHandoff`, `chaosRdsh`), plus — per seed — the
 //! differential oracle on the schedule-independent `chaosDisjoint` spec,
 //! the record→replay oracle, and the region-serializability oracle. One
 //! seed determines both the workload's op streams and the chaos decision
@@ -20,7 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use drink_check::{differential_check, replay_check, rs_check, run_cell, shrink, FailureArtifact, MATRIX_ENGINES};
-use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix};
+use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh};
 
 const DEFAULT_SEEDS: [u64; 4] = [0x1, 0x2, 0xC0FFEE, 0xDECAF_BAD];
 const SHRINK_ATTEMPTS: usize = 24;
@@ -103,7 +103,7 @@ fn main() -> ExitCode {
     let mut failures = 0u32;
     for seed in &args.seeds {
         let seed = *seed;
-        for spec in [chaos_mix(seed), chaos_handoff(seed)] {
+        for spec in [chaos_mix(seed), chaos_handoff(seed), chaos_rdsh(seed)] {
             for kind in MATRIX_ENGINES {
                 match run_cell(kind, &spec, seed) {
                     Ok(cell) => {

@@ -246,7 +246,7 @@ pub fn rs_check(spec: &WorkloadSpec, seed: u64) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix};
+    use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh};
 
     #[test]
     fn differential_holds_on_disjoint_spec() {
@@ -262,6 +262,44 @@ mod tests {
             .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
         differential_check(&chaos_handoff(33), 33)
             .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+    }
+
+    /// The fan-out oracle: with `coordinate_many` driving every RdSh
+    /// conflict, the engine matrix must still agree on access counts (and
+    /// the schedule-independent baseline-heap oracle must still hold — the
+    /// disjoint spec runs the same fan-out-enabled engines). The second half
+    /// proves the spec actually exercises the fan-out window rather than
+    /// vacuously passing: wide fan-outs and batched responses must show up
+    /// in the coordination counters.
+    #[test]
+    fn differential_holds_under_fanout_coordination() {
+        for seed in [41u64, 42] {
+            differential_check(&chaos_rdsh(seed), seed)
+                .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+            differential_check(&chaos_disjoint(seed), seed)
+                .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+        }
+        let cell = harness::run_cell(EngineKind::Optimistic, &chaos_rdsh(43), 43)
+            .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+        let report = &cell.run.report;
+        assert!(
+            report.get(Event::CoordFanout) > 0,
+            "chaosRdsh must drive RdSh conflicts through coordinate_many"
+        );
+        assert!(
+            report.fanout_width() > 1.0,
+            "fan-outs must cover multiple peers (width {})",
+            report.fanout_width()
+        );
+        // Batching accounting: every responding safe point answered ≥ 1
+        // request, so occupancy is at least 1 whenever anyone responded.
+        if report.get(Event::RespondedExplicit) > 0 {
+            assert!(
+                report.batch_occupancy() >= 1.0,
+                "batch occupancy {} < 1",
+                report.batch_occupancy()
+            );
+        }
     }
 
     #[test]

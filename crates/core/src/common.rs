@@ -115,12 +115,18 @@ impl<S: Support> EngineCommon<S> {
         self.psro_flush(ts);
         let ctl = self.rt.control(t);
         ctl.publish_blocked();
+        // Flag only after the final flush and BLOCKED are visible: a fan-out
+        // that observes the flag cites our release clock without an epoch
+        // CAS, so the clock it reads must already dominate our last access.
+        ctl.mark_detached();
         // Answer requests that raced with the status change; later requesters
-        // see BLOCKED and coordinate implicitly forever.
+        // see the detached flag (or BLOCKED) and coordinate implicitly
+        // forever.
         let reqs = ctl.take_requests();
         if !reqs.is_empty() {
             let clock = ctl.bump_release_clock();
             ts.stats.bump(Event::RespondedExplicit);
+            ts.stats.add(Event::CoordBatchRequests, reqs.len() as u64);
             self.support.on_responded(self.cx(ts), clock);
             for req in reqs {
                 req.token.complete(clock);
@@ -221,11 +227,18 @@ impl<S: Support> EngineCommon<S> {
     pub fn respond_pending(&self, ts: &mut ThreadState) {
         let ctl = self.rt.control(ts.tid);
         self.rt.sched_point(ts.tid, SchedPoint::CoordRespond);
-        let reqs = ctl.take_requests();
+        // Drain into per-session scratch (swapped out so support callbacks
+        // borrowing `ts` stay sound); the whole batch — however many
+        // requesters piled up — is answered by ONE clock bump below.
+        let mut reqs = std::mem::take(&mut ts.req_scratch);
+        debug_assert!(reqs.is_empty(), "respond_pending re-entered");
+        ctl.drain_requests_into(&mut reqs);
         if reqs.is_empty() {
+            ts.req_scratch = reqs;
             return;
         }
-        let requested: Vec<ObjId> = reqs.iter().filter_map(|r| r.obj).collect();
+        let mut requested = std::mem::take(&mut ts.obj_scratch);
+        requested.extend(reqs.iter().filter_map(|r| r.obj));
         self.support.before_yield(
             self.cx(ts),
             crate::support::YieldInfo {
@@ -239,10 +252,14 @@ impl<S: Support> EngineCommon<S> {
         let clock = ctl.bump_release_clock();
         self.flush_lock_buffer(ts);
         ts.stats.bump(Event::RespondedExplicit);
+        ts.stats.add(Event::CoordBatchRequests, reqs.len() as u64);
         self.support.on_responded(self.cx(ts), clock);
-        for req in reqs {
+        for req in reqs.drain(..) {
             req.token.complete(clock);
         }
+        requested.clear();
+        ts.req_scratch = reqs;
+        ts.obj_scratch = requested;
     }
 
     /// The respond closure handed to [`crate::coord`] while this thread
@@ -412,17 +429,21 @@ impl<S: Support> RtHooks for EngineCommon<S> {
         // SAFETY: as above.
         let ts = unsafe { self.ts(t) };
         // Answer explicit requests that raced with the BLOCKED publication.
-        // The buffer is already flushed; just bump and complete.
+        // The buffer is already flushed; one bump answers the whole batch.
         let ctl = self.rt.control(t);
-        let reqs = ctl.take_requests();
+        let mut reqs = std::mem::take(&mut ts.req_scratch);
+        debug_assert!(reqs.is_empty(), "blocked-publish drain re-entered");
+        ctl.drain_requests_into(&mut reqs);
         if !reqs.is_empty() {
             let clock = ctl.bump_release_clock();
             ts.stats.bump(Event::RespondedExplicit);
+            ts.stats.add(Event::CoordBatchRequests, reqs.len() as u64);
             self.support.on_responded(self.cx(ts), clock);
-            for req in reqs {
+            for req in reqs.drain(..) {
                 req.token.complete(clock);
             }
         }
+        ts.req_scratch = reqs;
     }
 
     fn after_unblock(&self, t: ThreadId, epoch_bumped: bool) {
@@ -556,6 +577,46 @@ mod tests {
         assert!(ts.holds_no_locks());
         let w = StateWord(e.rt.obj(o).state().load(Ordering::SeqCst));
         assert!(w.is_pess_unlocked());
+    }
+
+    #[test]
+    fn batch_of_k_requests_answered_by_one_clock_bump() {
+        const K: usize = 5;
+        let e = engine();
+        let t = e.attach();
+        let ts = unsafe { e.ts(t) };
+        let tokens: Vec<_> = (0..K)
+            .map(|i| {
+                let token = drink_runtime::ResponseToken::new();
+                e.rt.control(t).enqueue_request(drink_runtime::CoordRequest {
+                    from: ThreadId(1),
+                    obj: Some(ObjId(i as u32)),
+                    token: token.clone(),
+                });
+                token
+            })
+            .collect();
+        assert_eq!(e.rt.control(t).release_clock(), 0);
+        e.poll(ts);
+        // One drained batch of K requests: exactly one release-clock bump...
+        assert_eq!(e.rt.control(t).release_clock(), 1);
+        // ...completes all K tokens, all carrying that one clock...
+        for token in &tokens {
+            assert!(token.is_done());
+            assert_eq!(token.responder_clock(), 1);
+        }
+        // ...and the occupancy counters record the coalescing.
+        assert_eq!(ts.stats.get(Event::RespondedExplicit), 1);
+        assert_eq!(ts.stats.get(Event::CoordBatchRequests), K as u64);
+    }
+
+    #[test]
+    fn detach_marks_control_detached() {
+        let e = engine();
+        let t = e.attach();
+        assert!(!e.rt.control(t).is_detached());
+        unsafe { e.detach(t) };
+        assert!(e.rt.control(t).is_detached());
     }
 
     #[test]

@@ -96,15 +96,15 @@ pub fn coordinate_one(
     }
 }
 
-/// Coordinate with every registered thread except `me` (the conservative
-/// protocol for RdSh conflicts: "T conservatively coordinates with every
-/// other thread", §2.2 footnote 4).
+/// Sequential reference implementation of the conservative RdSh protocol:
+/// one full [`coordinate_one`] roundtrip per registered peer, in thread-id
+/// order. Worst-case latency is the *sum* of per-peer roundtrips, and every
+/// registered thread is visited — even detached ones (resolved by an epoch
+/// CAS against their permanently-blocked status word).
 ///
-/// Appends `(thread, clock)` pairs to `sources` and returns the combined
-/// mode: `Explicit` if all roundtrips were explicit, `Implicit` if all were
-/// implicit, `Mixed` otherwise. With no other threads registered, returns
-/// `Implicit` vacuously.
-pub fn coordinate_all(
+/// Kept benchable as the baseline the `contention` bench's `fanout_seq` rows
+/// measure; engine hot paths use [`coordinate_many`].
+pub fn coordinate_all_seq(
     rt: &Runtime,
     me: ThreadId,
     obj: Option<drink_runtime::ObjId>,
@@ -127,10 +127,166 @@ pub fn coordinate_all(
             CoordMode::Mixed => unreachable!("coordinate_one never returns Mixed"),
         }
     }
+    combine_modes(any_explicit, any_implicit)
+}
+
+/// Mode aggregation shared by the sequential and fan-out all-peer protocols:
+/// `Explicit` iff every resolved peer was explicit, `Implicit` if every peer
+/// was implicit *or there were no peers* (vacuous), `Mixed` otherwise.
+fn combine_modes(any_explicit: bool, any_implicit: bool) -> CoordMode {
     match (any_explicit, any_implicit) {
         (true, false) => CoordMode::Explicit,
         (false, _) => CoordMode::Implicit,
         (true, true) => CoordMode::Mixed,
+    }
+}
+
+/// One peer of an in-flight [`coordinate_many`] fan-out: scratch state the
+/// caller provides (and reuses across conflicts) so a fan-out allocates
+/// nothing beyond the explicit-request inbox nodes themselves.
+#[derive(Debug)]
+pub struct PendingPeer {
+    remote: ThreadId,
+    token: Option<std::sync::Arc<ResponseToken>>,
+}
+
+/// Coordinate with every live registered thread except `me` — the
+/// conservative protocol for RdSh conflicts ("T conservatively coordinates
+/// with every other thread", §2.2 footnote 4) — with the per-peer roundtrips
+/// overlapped instead of serialized:
+///
+/// 1. **snapshot + implicit sweep**: detached peers are resolved from their
+///    (final) release clocks without touching their status words; blocked
+///    peers are resolved by the implicit epoch CAS;
+/// 2. **fan-out enqueue**: an explicit request is enqueued to every
+///    still-running peer *at once*;
+/// 3. **single poll loop**: all outstanding tokens are polled together, with
+///    the per-peer implicit fallback when a peer blocks mid-wait, and
+///    `respond_self` invoked every iteration so the requester still acts as
+///    a safe point (deadlock freedom, Figure 1 line 18).
+///
+/// Latency is therefore the *max* of the per-peer response times, not their
+/// sum. A peer that blocks (or detaches) after its request was enqueued is
+/// resolved implicitly and its stale token answered harmlessly on the peer's
+/// wake/detach path — the same lost-wakeup closure [`coordinate_one`]
+/// documents, re-checked for every peer on every loop iteration.
+///
+/// Appends `(thread, clock)` pairs to `sources`; `pending` is caller-owned
+/// scratch (cleared here). Returns the combined mode under the same
+/// aggregation as [`coordinate_all_seq`] (detached peers count as implicit).
+pub fn coordinate_many(
+    rt: &Runtime,
+    me: ThreadId,
+    obj: Option<drink_runtime::ObjId>,
+    respond_self: &mut impl FnMut(),
+    sources: &mut Vec<(ThreadId, u64)>,
+    pending: &mut Vec<PendingPeer>,
+) -> CoordMode {
+    let n = rt.registered_threads();
+    let mut any_explicit = false;
+    let mut any_implicit = false;
+    pending.clear();
+
+    // Phase 1: snapshot the live peers, resolving what needs no roundtrip.
+    for i in 0..n {
+        let remote = ThreadId(i as u16);
+        if remote == me {
+            continue;
+        }
+        let ctl = rt.control(remote);
+        if ctl.is_detached() {
+            // Permanently blocked: detach flushed, bumped the clock, then
+            // set the flag (SeqCst), so this read dominates the peer's last
+            // access. No epoch CAS — nobody is left to observe it.
+            sources.push((remote, ctl.release_clock()));
+            any_implicit = true;
+            continue;
+        }
+        match ctl.status() {
+            ThreadStatus::Blocked { epoch } if ctl.try_implicit(epoch) => {
+                sources.push((remote, ctl.release_clock()));
+                any_implicit = true;
+            }
+            // Running, or a blocked/running race: handled by the poll loop.
+            _ => pending.push(PendingPeer {
+                remote,
+                token: None,
+            }),
+        }
+    }
+
+    if !pending.is_empty() {
+        // Phase 2 happens inside the first `advance` pass over `pending`:
+        // every still-running peer gets its request enqueued before any
+        // backoff, so all responders work concurrently.
+        rt.sched_point(me, SchedPoint::CoordFanoutEnqueue);
+        let mut spin = rt.spinner_for(me, "fan-out coordination responses");
+        loop {
+            // Phase 3: one combined poll pass over all outstanding peers.
+            pending.retain_mut(|p| {
+                match advance_peer(rt, me, obj, p) {
+                    Some((clock, CoordMode::Explicit)) => {
+                        sources.push((p.remote, clock));
+                        any_explicit = true;
+                        false
+                    }
+                    Some((clock, _)) => {
+                        sources.push((p.remote, clock));
+                        any_implicit = true;
+                        false
+                    }
+                    None => true,
+                }
+            });
+            if pending.is_empty() {
+                break;
+            }
+            rt.sched_point(me, SchedPoint::CoordFanoutPoll);
+            // Act as a safe point while waiting (deadlock freedom).
+            respond_self();
+            spin.spin();
+        }
+    }
+    combine_modes(any_explicit, any_implicit)
+}
+
+/// One peer's step of the fan-out state machine — the body of
+/// [`coordinate_one`]'s loop, minus the spin. Returns the resolution, or
+/// `None` if the peer is still outstanding.
+fn advance_peer(
+    rt: &Runtime,
+    me: ThreadId,
+    obj: Option<drink_runtime::ObjId>,
+    p: &mut PendingPeer,
+) -> Option<(u64, CoordMode)> {
+    if let Some(tok) = &p.token {
+        if tok.is_done() {
+            return Some((tok.responder_clock(), CoordMode::Explicit));
+        }
+    }
+    let ctl = rt.control(p.remote);
+    match ctl.status() {
+        ThreadStatus::Blocked { epoch } => {
+            if ctl.try_implicit(epoch) {
+                // Peer blocked mid-wait: fall back to implicit. Any enqueued
+                // token goes stale and is answered on the peer's wake.
+                return Some((ctl.release_clock(), CoordMode::Implicit));
+            }
+            None // epoch raced; re-examine next iteration
+        }
+        ThreadStatus::Running { .. } => {
+            if p.token.is_none() {
+                let token = ResponseToken::new();
+                ctl.enqueue_request(CoordRequest {
+                    from: me,
+                    obj,
+                    token: token.clone(),
+                });
+                rt.sched_point(me, SchedPoint::CoordRequest);
+                p.token = Some(token);
+            }
+            None
+        }
     }
 }
 
@@ -251,8 +407,9 @@ mod tests {
         assert_eq!(done.load(Ordering::Relaxed), 2);
     }
 
-    #[test]
-    fn coordinate_all_aggregates_modes() {
+    /// Run an all-peer coordination with one blocked and one responding
+    /// peer, through either implementation, and assert the Mixed outcome.
+    fn all_peers_mixed(fanout: bool) {
         let rt = Runtime::new(RuntimeConfig::default());
         let me = rt.register_thread();
         let r1 = rt.register_thread();
@@ -275,7 +432,12 @@ mod tests {
                 }
             });
             let mut sources = Vec::new();
-            let mode = coordinate_all(&rt, me, None, &mut || {}, &mut sources);
+            let mode = if fanout {
+                let mut pending = Vec::new();
+                coordinate_many(&rt, me, None, &mut || {}, &mut sources, &mut pending)
+            } else {
+                coordinate_all_seq(&rt, me, None, &mut || {}, &mut sources)
+            };
             stop.store(true, Ordering::Relaxed);
             assert_eq!(mode, CoordMode::Mixed);
             assert_eq!(sources.len(), 2);
@@ -285,12 +447,140 @@ mod tests {
     }
 
     #[test]
-    fn coordinate_all_with_no_peers_is_vacuous() {
+    fn coordinate_all_seq_aggregates_modes() {
+        all_peers_mixed(false);
+    }
+
+    #[test]
+    fn coordinate_many_aggregates_modes() {
+        all_peers_mixed(true);
+    }
+
+    #[test]
+    fn all_peer_protocols_with_no_peers_are_vacuous() {
         let rt = Runtime::new(RuntimeConfig::default());
         let me = rt.register_thread();
         let mut sources = Vec::new();
-        let mode = coordinate_all(&rt, me, None, &mut || {}, &mut sources);
+        let mode = coordinate_all_seq(&rt, me, None, &mut || {}, &mut sources);
         assert_eq!(mode, CoordMode::Implicit);
         assert!(sources.is_empty());
+        let mut pending = Vec::new();
+        let mode = coordinate_many(&rt, me, None, &mut || {}, &mut sources, &mut pending);
+        assert_eq!(mode, CoordMode::Implicit);
+        assert!(sources.is_empty());
+    }
+
+    #[test]
+    fn coordinate_many_skips_detached_peer_without_epoch_cas() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let gone = rt.register_thread();
+        // Simulate a full detach: final flush (clock bump), block, flag.
+        rt.control(gone).bump_release_clock();
+        let epoch = rt.control(gone).publish_blocked();
+        rt.control(gone).mark_detached();
+
+        let mut sources = Vec::new();
+        let mut pending = Vec::new();
+        let mode = coordinate_many(&rt, me, None, &mut || {}, &mut sources, &mut pending);
+        assert_eq!(mode, CoordMode::Implicit);
+        assert_eq!(sources, vec![(gone, 1)], "final clock cited as the source");
+        // The snapshot dropped the peer without an epoch CAS: a detached
+        // thread never wakes to observe one, so bumping it is pure traffic.
+        assert_eq!(
+            rt.control(gone).status(),
+            ThreadStatus::Blocked { epoch },
+            "detached peer's epoch must not be bumped"
+        );
+    }
+
+    /// The stale-token case: a fan-out enqueues an explicit request to a
+    /// running peer, the peer blocks without answering, the requester falls
+    /// back to implicit — and the abandoned token must still be answered by
+    /// the peer's wake-side drain, leaving no stranded request behind.
+    #[test]
+    fn coordinate_many_stale_token_is_answered_on_wake() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let remote = rt.register_thread();
+        let enqueued = AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            let rtr = &rt;
+            let flag = &enqueued;
+            s.spawn(move || {
+                let ctl = rtr.control(remote);
+                // Wait until the fan-out has enqueued its request, then block
+                // without answering it (the losing side of the race).
+                let mut spin = rtr.spinner("request to go stale");
+                while !ctl.has_pending_requests() {
+                    spin.spin();
+                }
+                flag.store(true, Ordering::Relaxed);
+                ctl.bump_release_clock();
+                ctl.publish_blocked();
+            });
+
+            let mut sources = Vec::new();
+            let mut pending = Vec::new();
+            let mode = coordinate_many(&rt, me, None, &mut || {}, &mut sources, &mut pending);
+            assert!(enqueued.load(Ordering::Relaxed), "request did go stale");
+            assert_eq!(mode, CoordMode::Implicit, "resolved by the fallback");
+            assert_eq!(sources, vec![(remote, 1)]);
+        });
+
+        // The peer wakes: its drain must answer the stale token.
+        let ctl = rt.control(remote);
+        let stale = ctl.take_requests();
+        assert_eq!(stale.len(), 1, "stale token still queued for the wake-up");
+        let clock = ctl.bump_release_clock();
+        for req in stale {
+            req.token.complete(clock);
+        }
+        assert!(!ctl.has_stranded_requests(), "inbox clean after the wake");
+    }
+
+    #[test]
+    fn mutual_fanout_does_not_deadlock() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let ids: Vec<ThreadId> = (0..3).map(|_| rt.register_thread()).collect();
+        let done = std::sync::atomic::AtomicUsize::new(0);
+
+        // Three threads all fan out to each other simultaneously, each
+        // acting as a safe point while it waits, then detach-style block and
+        // answer raced requests.
+        let run = |me: ThreadId| {
+            let ctl = rt.control(me);
+            let mut sources = Vec::new();
+            let mut pending = Vec::new();
+            let mode = coordinate_many(
+                &rt,
+                me,
+                None,
+                &mut || {
+                    for req in ctl.take_requests() {
+                        req.token.complete(ctl.bump_release_clock());
+                    }
+                },
+                &mut sources,
+                &mut pending,
+            );
+            ctl.publish_blocked();
+            for req in ctl.take_requests() {
+                req.token.complete(ctl.bump_release_clock());
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            (mode, sources)
+        };
+
+        std::thread::scope(|s| {
+            let run = &run;
+            let handles: Vec<_> = ids.iter().map(|&t| s.spawn(move || run(t))).collect();
+            for h in handles {
+                let (_, sources) = h.join().unwrap();
+                assert_eq!(sources.len(), 2, "every peer resolved exactly once");
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 3);
     }
 }

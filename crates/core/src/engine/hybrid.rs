@@ -28,7 +28,7 @@ use std::sync::Arc;
 use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
 
 use crate::common::EngineCommon;
-use crate::coord::{coordinate_all, coordinate_one};
+use crate::coord::{coordinate_many, coordinate_one};
 use crate::engine::Tracker;
 use crate::policy::{AdaptivePolicy, PolicyParams};
 use crate::support::{CoordMode, NullSupport, Support, SupportCx, TransitionEv};
@@ -120,18 +120,25 @@ impl<S: Support> HybridEngine<S> {
         let rt = self.common.rt.clone();
         let t = ts.tid;
         let mut scratch = std::mem::take(&mut ts.src_scratch);
+        let mut pending = std::mem::take(&mut ts.fanout_scratch);
         scratch.clear();
+        let fanout = w.kind() == Kind::RdSh;
         let mode = {
             let mut respond = self.common.respond_closure(ts);
-            if w.kind() == Kind::RdSh {
-                coordinate_all(&rt, t, Some(o), &mut respond, &mut scratch)
+            if fanout {
+                coordinate_many(&rt, t, Some(o), &mut respond, &mut scratch, &mut pending)
             } else {
                 let out = coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
                 scratch.push((w.owner(), out.source_clock));
                 out.mode
             }
         };
+        if fanout {
+            ts.stats.bump(Event::CoordFanout);
+            ts.stats.add(Event::CoordFanoutPeers, scratch.len() as u64);
+        }
         ts.src_scratch = scratch;
+        ts.fanout_scratch = pending;
         ts.stats.bump(Event::CoordinationRoundtrip);
         mode
     }
@@ -199,16 +206,29 @@ impl<S: Support> HybridEngine<S> {
     fn contended_coordinate(&self, ts: &mut ThreadState, o: ObjId, w: StateWord) {
         let rt = self.common.rt.clone();
         let t = ts.tid;
-        let mut respond = self.common.respond_closure(ts);
-        if w.kind() == Kind::RdSh {
-            // Read-locked by unknown threads: conservatively coordinate with
-            // everyone (the state word does not name RdSh holders).
-            let mut sink = Vec::new();
-            coordinate_all(&rt, t, Some(o), &mut respond, &mut sink);
-        } else {
-            coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
+        let fanout = w.kind() == Kind::RdSh;
+        // The sources are not recorded here (the caller just retries), but
+        // the scratch buffers are still reused so a contended RdSh
+        // transition allocates nothing.
+        let mut sink = std::mem::take(&mut ts.src_scratch);
+        let mut pending = std::mem::take(&mut ts.fanout_scratch);
+        sink.clear();
+        {
+            let mut respond = self.common.respond_closure(ts);
+            if fanout {
+                // Read-locked by unknown threads: conservatively coordinate
+                // with everyone (the state word does not name RdSh holders).
+                coordinate_many(&rt, t, Some(o), &mut respond, &mut sink, &mut pending);
+            } else {
+                coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
+            }
         }
-        drop(respond);
+        if fanout {
+            ts.stats.bump(Event::CoordFanout);
+            ts.stats.add(Event::CoordFanoutPeers, sink.len() as u64);
+        }
+        ts.src_scratch = sink;
+        ts.fanout_scratch = pending;
         ts.stats.bump(Event::CoordinationRoundtrip);
     }
 

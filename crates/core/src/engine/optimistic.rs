@@ -23,7 +23,7 @@ use std::sync::Arc;
 use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
 
 use crate::common::EngineCommon;
-use crate::coord::{coordinate_all, coordinate_one};
+use crate::coord::{coordinate_many, coordinate_one};
 use crate::engine::Tracker;
 use crate::policy::AdaptivePolicy;
 use crate::support::{CoordMode, NullSupport, Support, SupportCx, TransitionEv};
@@ -245,18 +245,25 @@ impl<S: Support> OptimisticEngine<S> {
         let rt = self.common.rt.clone();
         let t = ts.tid;
         let mut scratch = std::mem::take(&mut ts.src_scratch);
+        let mut pending = std::mem::take(&mut ts.fanout_scratch);
         scratch.clear();
+        let fanout = w.kind() == Kind::RdSh;
         let mode = {
             let mut respond = self.common.respond_closure(ts);
-            if w.kind() == Kind::RdSh {
-                coordinate_all(&rt, t, Some(o), &mut respond, &mut scratch)
+            if fanout {
+                coordinate_many(&rt, t, Some(o), &mut respond, &mut scratch, &mut pending)
             } else {
                 let out = coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
                 scratch.push((w.owner(), out.source_clock));
                 out.mode
             }
         };
+        if fanout {
+            ts.stats.bump(Event::CoordFanout);
+            ts.stats.add(Event::CoordFanoutPeers, scratch.len() as u64);
+        }
         ts.src_scratch = scratch;
+        ts.fanout_scratch = pending;
         ts.stats.bump(Event::CoordinationRoundtrip);
         mode
     }

@@ -217,6 +217,16 @@ pub struct ThreadState {
     /// Scratch buffer for happens-before sources, reused across transitions
     /// to keep the hot path allocation-free.
     pub src_scratch: Vec<(ThreadId, u64)>,
+    /// Scratch for [`crate::coord::coordinate_many`]'s outstanding-peer set,
+    /// reused across RdSh conflicts (like the lock buffer, it lives for the
+    /// session) so a fan-out never allocates per conflict.
+    pub fanout_scratch: Vec<crate::coord::PendingPeer>,
+    /// Scratch for the responder side: requests drained at a responding safe
+    /// point land here (via `ThreadControl::drain_requests_into`) instead of
+    /// a fresh `Vec` per response.
+    pub req_scratch: Vec<drink_runtime::CoordRequest>,
+    /// Scratch for the objects named by a drained request batch.
+    pub obj_scratch: Vec<ObjId>,
     /// This thread's event counters, merged into the runtime's global stats
     /// when the mutator detaches.
     pub stats: LocalStats,
@@ -233,6 +243,9 @@ impl ThreadState {
             rd_set: DenseObjSet::with_capacity(heap_objects),
             op_index: 0,
             src_scratch: Vec::with_capacity(8),
+            fanout_scratch: Vec::with_capacity(8),
+            req_scratch: Vec::with_capacity(8),
+            obj_scratch: Vec::with_capacity(8),
             stats: LocalStats::new(),
         }
     }

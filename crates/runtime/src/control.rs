@@ -142,6 +142,7 @@ struct InboxNode {
 pub struct ThreadControl {
     status: AtomicU64,
     has_requests: AtomicBool,
+    detached: AtomicBool,
     inbox: AtomicPtr<InboxNode>,
     release_clock: AtomicU64,
 }
@@ -158,9 +159,30 @@ impl ThreadControl {
         ThreadControl {
             status: AtomicU64::new(encode(false, 0)),
             has_requests: AtomicBool::new(false),
+            detached: AtomicBool::new(false),
             inbox: AtomicPtr::new(ptr::null_mut()),
             release_clock: AtomicU64::new(0),
         }
+    }
+
+    // --- Liveness ---
+
+    /// Owning thread: mark this mutator permanently detached. Must be called
+    /// *after* the final flush/clock bump and the BLOCKED publication, so
+    /// that any thread observing the flag (SeqCst) also observes a release
+    /// clock that dominates this thread's last access. Thread ids are never
+    /// reused within a runtime, so the flag is monotonic.
+    pub fn mark_detached(&self) {
+        self.detached.store(true, Ordering::SeqCst);
+    }
+
+    /// Any thread: has this mutator detached for good? A detached peer can
+    /// be dropped from coordination fan-outs without an epoch CAS: it is
+    /// permanently blocked, never accesses again, and its release clock is
+    /// final (modulo answering stale tokens, which only bumps it further).
+    #[inline]
+    pub fn is_detached(&self) -> bool {
+        self.detached.load(Ordering::SeqCst)
     }
 
     // --- Status word ---
@@ -268,8 +290,17 @@ impl ThreadControl {
     /// a request enqueued concurrently is either drained now or re-flags for
     /// the next poll.
     pub fn take_requests(&self) -> Vec<CoordRequest> {
+        let mut out = Vec::new();
+        self.drain_requests_into(&mut out);
+        out
+    }
+
+    /// [`ThreadControl::take_requests`] into a caller-provided buffer:
+    /// appends the drained batch in FIFO arrival order without allocating,
+    /// so responding safe points can reuse one scratch `Vec` per thread.
+    pub fn drain_requests_into(&self, out: &mut Vec<CoordRequest>) {
         if !self.has_pending_requests() {
-            return Vec::new();
+            return;
         }
         // Injected bug `late-has-requests-clear` (check-invariants builds
         // only): clearing the flag *after* the detach re-opens the lost-
@@ -293,7 +324,7 @@ impl ThreadControl {
             std::thread::sleep(std::time::Duration::from_micros(100));
             self.has_requests.store(false, Ordering::SeqCst);
         }
-        let mut out = Vec::new();
+        let start = out.len();
         while !head.is_null() {
             // Safety: the swap made this list exclusively ours; nodes were
             // fully initialized before their Release publication.
@@ -301,8 +332,7 @@ impl ThreadControl {
             head = node.next;
             out.push(node.req);
         }
-        out.reverse();
-        out
+        out[start..].reverse();
     }
 
     /// Any thread, **at quiescence only** (all mutators joined): is there a
@@ -408,6 +438,42 @@ mod tests {
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].from, ThreadId(1));
         assert!(!c.has_pending_requests());
+    }
+
+    #[test]
+    fn detached_flag_starts_clear_and_latches() {
+        let c = ThreadControl::new();
+        assert!(!c.is_detached());
+        c.publish_blocked();
+        c.mark_detached();
+        assert!(c.is_detached());
+        // The flag is independent of the status word's epoch games.
+        assert!(c.try_implicit(0));
+        assert!(c.is_detached());
+    }
+
+    #[test]
+    fn drain_into_appends_fifo_after_existing_entries() {
+        let c = ThreadControl::new();
+        let mut out = vec![CoordRequest {
+            from: ThreadId(9),
+            obj: None,
+            token: ResponseToken::new(),
+        }];
+        for i in 0..3 {
+            c.enqueue_request(CoordRequest {
+                from: ThreadId(i),
+                obj: None,
+                token: ResponseToken::new(),
+            });
+        }
+        c.drain_requests_into(&mut out);
+        let froms: Vec<u16> = out.iter().map(|r| r.from.0).collect();
+        assert_eq!(froms, vec![9, 0, 1, 2], "existing entries kept, batch FIFO");
+        assert!(!c.has_pending_requests());
+        // Draining an empty inbox is a no-op on the buffer.
+        c.drain_requests_into(&mut out);
+        assert_eq!(out.len(), 4);
     }
 
     #[test]

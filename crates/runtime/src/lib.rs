@@ -78,6 +78,14 @@ pub enum SchedPoint {
     CoordRequest,
     /// About to answer pending explicit requests (responder side).
     CoordRespond,
+    /// A coordination fan-out is about to enqueue explicit requests to every
+    /// still-running peer at once (requester side, once per fan-out).
+    CoordFanoutEnqueue,
+    /// One iteration of a fan-out's combined poll loop: all outstanding
+    /// tokens checked, peers re-examined for the blocked fallback (requester
+    /// side). This is the widened blocked/running race window the batched
+    /// protocol introduces.
+    CoordFanoutPoll,
     /// About to publish BLOCKED at a generic blocking safe point.
     BlockedPublish,
 }

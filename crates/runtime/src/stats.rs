@@ -75,6 +75,18 @@ pub enum Event {
     ImplicitPerformed,
     /// A coordination roundtrip this thread initiated (send → response).
     CoordinationRoundtrip,
+    /// Total explicit requests answered across responding safe points. Each
+    /// responding safe point drains its whole inbox and answers the batch
+    /// with *one* release-clock bump, so
+    /// `CoordBatchRequests / RespondedExplicit` is the mean batch occupancy
+    /// (the coalescing rate Table-2-style reports can show).
+    CoordBatchRequests,
+    /// Coordination fan-outs initiated (one `coordinate_many` call: the
+    /// conservative RdSh protocol that coordinates with every live peer).
+    CoordFanout,
+    /// Total peers covered by fan-outs; `CoordFanoutPeers / CoordFanout` is
+    /// the mean fan-out width.
+    CoordFanoutPeers,
 
     // --- Program-level events ---
     /// Tracked read access.
@@ -134,6 +146,9 @@ impl Event {
         Event::ImplicitObservedOnWake,
         Event::ImplicitPerformed,
         Event::CoordinationRoundtrip,
+        Event::CoordBatchRequests,
+        Event::CoordFanout,
+        Event::CoordFanoutPeers,
         Event::Read,
         Event::Write,
         Event::MonitorAcquireFast,
@@ -166,6 +181,9 @@ impl Event {
             Event::ImplicitObservedOnWake => "coord.implicit_observed",
             Event::ImplicitPerformed => "coord.implicit_performed",
             Event::CoordinationRoundtrip => "coord.roundtrip",
+            Event::CoordBatchRequests => "coord.batch_requests",
+            Event::CoordFanout => "coord.fanout",
+            Event::CoordFanoutPeers => "coord.fanout_peers",
             Event::Read => "access.read",
             Event::Write => "access.write",
             Event::MonitorAcquireFast => "monitor.acquire_fast",
@@ -357,6 +375,30 @@ impl StatsReport {
         }
     }
 
+    /// Mean number of explicit requests answered per responding safe point
+    /// (≥ 1 whenever any response happened). A value above 1 means
+    /// responder-side batching coalesced requests: N tokens were answered by
+    /// one release-clock bump instead of N.
+    pub fn batch_occupancy(&self) -> f64 {
+        let responses = self.get(Event::RespondedExplicit);
+        if responses == 0 {
+            0.0
+        } else {
+            self.get(Event::CoordBatchRequests) as f64 / responses as f64
+        }
+    }
+
+    /// Mean number of peers per coordination fan-out (the conservative RdSh
+    /// protocol's width).
+    pub fn fanout_width(&self) -> f64 {
+        let fanouts = self.get(Event::CoordFanout);
+        if fanouts == 0 {
+            0.0
+        } else {
+            self.get(Event::CoordFanoutPeers) as f64 / fanouts as f64
+        }
+    }
+
     /// All (event, count) pairs with non-zero counts, for printing.
     pub fn nonzero(&self) -> Vec<(Event, u64)> {
         Event::ALL
@@ -422,6 +464,22 @@ mod tests {
         assert!((r.pess_reentrant_pct() - 25.0).abs() < 1e-9);
         assert_eq!(r.opt_conflicting(), 7);
         assert!((r.explicit_conflict_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_derives_coordination_batch_columns() {
+        let global = GlobalStats::new();
+        let mut l = LocalStats::new();
+        // 4 responding safe points answered 10 requests total.
+        l.add(Event::RespondedExplicit, 4);
+        l.add(Event::CoordBatchRequests, 10);
+        // 3 fan-outs covered 21 peers (8-thread runtime).
+        l.add(Event::CoordFanout, 3);
+        l.add(Event::CoordFanoutPeers, 21);
+        l.merge_into(&global);
+        let r = global.report();
+        assert!((r.batch_occupancy() - 2.5).abs() < 1e-12);
+        assert!((r.fanout_width() - 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,18 +1,22 @@
 #!/bin/bash
-# Bench gate: release build + tier-1 tests + fixed-iteration hot-path
-# microbench. Writes BENCH_hotpath.json (repo root by default; pass a path
-# to override) and fails if the build or tests fail, so CI can gate merges
-# on "tests green and hot-path numbers emitted".
+# Bench gate: release build + tier-1 tests + chaos check gate + the two
+# fixed-iteration microbenches (hot path, multi-thread contention), each
+# compared against the checked-in baseline JSON by `bench_compare`. The gate
+# fails on build/test/check failure or when any bench row's median regresses
+# more than BENCH_GATE_THRESHOLD percent (default 25) against its baseline;
+# on success the refreshed JSONs are moved into place for commit.
 #
-#   scripts/bench_gate.sh [out.json]
+#   scripts/bench_gate.sh [hotpath_out.json] [contention_out.json]
 #
-# Compare the emitted ns/op rows against the previous run by hand (or with
-# jq); the fixed iteration counts make runs directly comparable across
+# A missing baseline (first run of a new bench) skips the comparison for
+# that report; fixed iteration counts make runs directly comparable across
 # commits on the same host.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_hotpath.json}"
+HOTPATH_OUT="${1:-BENCH_hotpath.json}"
+CONTENTION_OUT="${2:-BENCH_contention.json}"
+THRESHOLD="${BENCH_GATE_THRESHOLD:-25}"
 
 echo "=== bench_gate: release build"
 cargo build --release
@@ -23,7 +27,25 @@ cargo test -q
 echo "=== bench_gate: chaos check gate"
 scripts/check_gate.sh
 
-echo "=== bench_gate: hot-path microbench -> $OUT"
-./target/release/hotpath "$OUT"
+run_and_compare() {
+    local bin="$1" out="$2"
+    shift 2
+    local tmp
+    tmp="$(mktemp "/tmp/BENCH_${bin}.XXXXXX.json")"
+    echo "=== bench_gate: $bin microbench -> $out"
+    "./target/release/$bin" "$tmp"
+    if [ -f "$out" ]; then
+        echo "=== bench_gate: $bin vs baseline $out (threshold ${THRESHOLD}%)"
+        ./target/release/bench_compare "$out" "$tmp" --threshold "$THRESHOLD" "$@"
+    else
+        echo "=== bench_gate: no baseline $out; skipping comparison"
+    fi
+    mv "$tmp" "$out"
+}
+
+run_and_compare hotpath "$HOTPATH_OUT"
+# The always-optimistic rows are advisory: under RdSh contention on a
+# shared host their wall time is scheduling-bimodal (DESIGN.md §10).
+run_and_compare contention "$CONTENTION_OUT" --advisory opt_access_
 
 echo "=== bench_gate: OK"
