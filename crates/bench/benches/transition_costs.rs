@@ -9,7 +9,11 @@ use drink_core::prelude::*;
 use drink_runtime::{ObjId, Runtime, RuntimeConfig};
 
 fn fresh_rt() -> Arc<Runtime> {
-    Arc::new(Runtime::new(RuntimeConfig::sized(2, 8, 1)))
+    Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(8)
+        .monitors(1)
+        .build()))
 }
 
 fn bench_fast_paths(c: &mut Criterion) {

@@ -14,26 +14,7 @@
 //! host (see DESIGN.md §10 on the always-optimistic contention rows).
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
-use serde::Deserialize;
-
-#[derive(Deserialize)]
-struct Row {
-    name: String,
-    #[allow(dead_code)]
-    iters: u64,
-    ns_per_op: f64,
-}
-
-#[derive(Deserialize)]
-struct Report {
-    schema: String,
-    rows: Vec<Row>,
-}
-
-fn load(path: &str) -> Result<Report, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
-}
+use drink_bench::report::Report;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,7 +53,7 @@ fn main() {
         std::process::exit(2);
     };
 
-    let (base, fresh) = match (load(base_path), load(fresh_path)) {
+    let (base, fresh) = match (Report::load(base_path), Report::load(fresh_path)) {
         (Ok(b), Ok(f)) => (b, f),
         (Err(e), _) | (_, Err(e)) => {
             eprintln!("bench_compare: {e}");

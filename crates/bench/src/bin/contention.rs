@@ -27,28 +27,15 @@ use std::hint::black_box;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use drink_bench::report::{Report, Row};
 use drink_bench::{scale_from_args, trials_from_args};
 use drink_core::coord::{coordinate_all_seq, coordinate_many, PendingPeer};
 use drink_runtime::{Runtime, RuntimeConfig, Spin, ThreadId};
 use drink_workloads::{chaos_rdsh, run_kind, EngineKind, WorkloadSpec};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    iters: u64,
-    ns_per_op: f64,
-}
 
 /// Thread widths the paper's scalability plots use at the low end; 8 is the
 /// acceptance width for the fan-out-vs-sequential comparison.
 const WIDTHS: [usize; 3] = [2, 4, 8];
-
-#[derive(Serialize)]
-struct Report {
-    schema: String,
-    rows: Vec<Row>,
-}
 
 fn push_row(rows: &mut Vec<Row>, name: String, iters: u64, ns: f64) {
     println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters)");
@@ -59,7 +46,11 @@ fn push_row(rows: &mut Vec<Row>, name: String, iters: u64, ns: f64) {
 /// Every peer stays RUNNING, so every resolution is a full explicit
 /// roundtrip — the worst case the RdSh conflict path can hit.
 fn raw_all_peer(rows: &mut Vec<Row>, n: usize, iters: u64, trials: usize, fanout: bool) {
-    let rt = Runtime::new(RuntimeConfig::sized(n, 64, 1));
+    let rt = Runtime::new(RuntimeConfig::builder()
+        .max_threads(n)
+        .heap_objects(64)
+        .monitors(1)
+        .build());
     let me = rt.register_thread();
     let peers: Vec<ThreadId> = (1..n).map(|_| rt.register_thread()).collect();
     let stop = AtomicBool::new(false);
@@ -174,13 +165,10 @@ fn main() {
     }
     engine_throughput(&mut rows, scale, trials);
 
-    let report = Report {
-        schema: "drink-bench/contention/v1".to_string(),
-        rows,
-    };
-    let json = serde_json::to_string_pretty(&report).unwrap();
-    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
+    let mut report = Report::new("drink-bench/contention");
+    report.rows = rows;
+    report.write(&out).unwrap_or_else(|e| {
+        eprintln!("cannot write: {e}");
         std::process::exit(2);
     });
     println!("wrote {out}");

@@ -47,7 +47,11 @@ fn per_access_ns<T: Tracker>(engine: &T, iters: u64) -> f64 {
 /// Explicit-coordination cost: the accessor conflicts with a running,
 /// polling peer on every access.
 fn explicit_ns(iters: u64) -> f64 {
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let engine = OptimisticEngine::new(rt);
     let o = ObjId(0);
     let stop = AtomicBool::new(false);
@@ -97,7 +101,11 @@ fn explicit_ns(iters: u64) -> f64 {
 
 /// Implicit-coordination cost: conflict with a permanently blocked thread.
 fn implicit_ns(iters: u64) -> f64 {
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(3, 4096, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(3)
+        .heap_objects(4096)
+        .monitors(1)
+        .build()));
     let engine = OptimisticEngine::new(rt);
     let n = engine.rt().heap().len();
     std::thread::scope(|s| {
@@ -137,15 +145,27 @@ fn main() {
     let iters = ((2_000_000.0 * scale) as u64).max(10_000);
 
     let base = {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(1, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(1)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         per_access_ns(&NoTracking::new(rt), iters)
     };
     let pess = {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(1, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(1)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         per_access_ns(&PessimisticEngine::new(rt), iters)
     };
     let opt = {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(1, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(1)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         per_access_ns(&OptimisticEngine::new(rt), iters)
     };
     let expl = explicit_ns((iters / 100).clamp(500, 20_000));

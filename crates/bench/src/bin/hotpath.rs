@@ -27,24 +27,11 @@ use std::time::Instant;
 use drink_core::engine::hybrid::{HybridConfig, HybridEngine};
 use drink_core::prelude::*;
 use drink_core::word::{LockMode, StateWord};
+use drink_bench::report::{Report, Row};
 use drink_runtime::{
     CoordRequest, Heap, MonitorId, ObjId, ResponseToken, Runtime, RuntimeConfig, Spin,
     ThreadControl, ThreadId,
 };
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    iters: u64,
-    ns_per_op: f64,
-}
-
-#[derive(Serialize)]
-struct Report {
-    schema: String,
-    rows: Vec<Row>,
-}
 
 fn measure(name: &str, iters: u64, mut f: impl FnMut()) -> Row {
     let trials = drink_bench::trials_from_args(3);
@@ -64,7 +51,11 @@ fn measure(name: &str, iters: u64, mut f: impl FnMut()) -> Row {
 }
 
 fn fresh_rt() -> Arc<Runtime> {
-    Arc::new(Runtime::new(RuntimeConfig::sized(2, 1024, 1)))
+    Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(1024)
+        .monitors(1)
+        .build()))
 }
 
 /// Layer 1a: optimistic same-state read/write (the common case of every
@@ -217,6 +208,33 @@ fn heap_layouts(rows: &mut Vec<Row>) {
     }
 }
 
+/// The tracing valve: the same optimistic-write fast path with the trace
+/// sink absent (default — one predicted-untaken branch, gated within the
+/// regression threshold) and present (ring-buffer stores on the hot path —
+/// advisory, since the cost is expected and opt-in).
+fn trace_overhead(rows: &mut Vec<Row>) {
+    const N: u64 = 20_000_000;
+    for (label, capacity) in [("trace_off_opt_write", 0usize), ("trace_on_opt_write", 4096)] {
+        let rt = Arc::new(Runtime::new(
+            RuntimeConfig::builder()
+                .max_threads(2)
+                .heap_objects(1024)
+                .monitors(1)
+                .trace_capacity(capacity)
+                .build(),
+        ));
+        let engine = HybridEngine::new(rt);
+        let t = engine.attach();
+        engine.alloc_init(ObjId(0), t);
+        rows.push(measure(label, N, || {
+            for i in 0..N {
+                engine.write(t, ObjId(0), black_box(i));
+            }
+        }));
+        engine.detach(t);
+    }
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -234,14 +252,12 @@ fn main() {
     queue_raw(&mut rows);
     explicit_roundtrip(&mut rows);
     heap_layouts(&mut rows);
+    trace_overhead(&mut rows);
 
-    let report = Report {
-        schema: "drink-bench/hotpath/v1".to_string(),
-        rows,
-    };
-    let json = serde_json::to_string_pretty(&report).unwrap();
-    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
-        eprintln!("cannot write {out}: {e}");
+    let mut report = Report::new("drink-bench/hotpath");
+    report.rows = rows;
+    report.write(&out).unwrap_or_else(|e| {
+        eprintln!("cannot write: {e}");
         std::process::exit(2);
     });
     println!("wrote {out}");

@@ -1,0 +1,142 @@
+//! `drink-bench trace`: run a workload with the trace rings enabled and
+//! export the per-thread event timelines.
+//!
+//! Two exporters share one snapshot: a Chrome-trace JSON file (open in
+//! `chrome://tracing` / Perfetto; every ring record becomes an instant event
+//! on its thread's track) and an optional flat per-thread text dump for
+//! grepping. A third mode, `--check`, re-parses a previously exported Chrome
+//! trace and validates its shape — `scripts/check_gate.sh` uses it as the
+//! export/ingest round-trip check.
+//!
+//! ```bash
+//! cargo run --release -p drink-bench --bin trace -- \
+//!     [--engine hybrid|opt|pess|baseline] [--workload chaos_mix|...] \
+//!     [--seed N] [--capacity N] [--out FILE] [--text FILE]
+//! cargo run --release -p drink-bench --bin trace -- --check FILE
+//! ```
+//!
+//! Exit status: 0 clean, 2 usage/IO/validation error.
+
+use std::sync::Arc;
+
+use drink_runtime::trace::validate_chrome_json;
+use drink_runtime::Runtime;
+use drink_workloads::{
+    chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh, racy_inc, run_kind_on,
+    runtime_config_for, sync_inc, EngineKind, WorkloadSpec,
+};
+
+fn arg_after(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace [--engine hybrid|opt|pess|baseline] [--workload NAME] \
+         [--seed N] [--capacity N] [--out FILE] [--text FILE]\n\
+         \x20      trace --check FILE\n\
+         workloads: chaos_mix chaos_disjoint chaos_handoff chaos_rdsh racy_inc sync_inc"
+    );
+    std::process::exit(2);
+}
+
+fn spec_for(workload: &str, seed: u64) -> WorkloadSpec {
+    match workload {
+        "chaos_mix" => chaos_mix(seed),
+        "chaos_disjoint" => chaos_disjoint(seed),
+        "chaos_handoff" => chaos_handoff(seed),
+        "chaos_rdsh" => chaos_rdsh(seed),
+        "racy_inc" => racy_inc(4, 2000),
+        "sync_inc" => sync_inc(4, 2000),
+        other => {
+            eprintln!("trace: unknown workload {other:?}");
+            usage();
+        }
+    }
+}
+
+fn engine_for(name: &str) -> EngineKind {
+    match name {
+        "hybrid" => EngineKind::Hybrid,
+        "hybrid-inf" => EngineKind::HybridInfiniteCutoff,
+        "opt" | "optimistic" => EngineKind::Optimistic,
+        "pess" | "pessimistic" => EngineKind::Pessimistic,
+        "baseline" => EngineKind::Baseline,
+        "ideal" => EngineKind::Ideal,
+        other => {
+            eprintln!("trace: unknown engine {other:?}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(path) = arg_after(&args, "--check") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("trace: {path}: {e}");
+            std::process::exit(2);
+        });
+        match validate_chrome_json(&text) {
+            Ok(n) => println!("{path}: valid Chrome trace ({n} events)"),
+            Err(e) => {
+                eprintln!("trace: {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
+
+    let engine = engine_for(&arg_after(&args, "--engine").unwrap_or_else(|| "hybrid".into()));
+    let workload = arg_after(&args, "--workload").unwrap_or_else(|| "chaos_mix".into());
+    let seed: u64 = arg_after(&args, "--seed")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0xD21_4B);
+    let capacity: usize = arg_after(&args, "--capacity")
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(4096);
+    let out = arg_after(&args, "--out").unwrap_or_else(|| "DRINK_trace.json".into());
+    let text_out = arg_after(&args, "--text");
+
+    let spec = spec_for(&workload, seed);
+    let mut cfg = runtime_config_for(&spec);
+    cfg.trace_capacity = capacity.max(2);
+    let rt = Arc::new(Runtime::new(cfg));
+
+    let result = run_kind_on(engine, Arc::clone(&rt), &spec);
+    let snapshot = rt.trace_snapshot().unwrap_or_else(|| {
+        eprintln!("trace: runtime produced no trace sink (capacity 0?)");
+        std::process::exit(2);
+    });
+
+    println!(
+        "{} on {}: {} events across {} thread(s) (ring capacity {capacity})",
+        spec.name,
+        result.engine,
+        snapshot.total_events(),
+        snapshot.threads.len(),
+    );
+
+    let chrome = snapshot.to_chrome_json();
+    if let Err(e) = validate_chrome_json(&chrome) {
+        eprintln!("trace: internal error: emitted invalid Chrome JSON: {e}");
+        std::process::exit(2);
+    }
+    std::fs::write(&out, chrome + "\n").unwrap_or_else(|e| {
+        eprintln!("trace: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    println!("wrote {out}");
+
+    if let Some(path) = text_out {
+        std::fs::write(&path, snapshot.to_text()).unwrap_or_else(|e| {
+            eprintln!("trace: cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+}

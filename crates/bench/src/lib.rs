@@ -19,6 +19,8 @@
 //!   the figures' *shape* (who wins, by what factor, where the crossovers
 //!   are).
 
+pub mod report;
+
 use std::time::Duration;
 
 use drink_runtime::{CostModel, StatsReport};

@@ -1,0 +1,118 @@
+//! Shared machine-readable bench report schema.
+//!
+//! `hotpath`, `contention`, and `bench_compare` used to each carry a private
+//! copy of the `Row`/`Report` structs; this module is the single definition
+//! all three (and `scripts/bench_gate.sh` through them) agree on. The report
+//! carries an explicit [`SCHEMA_VERSION`] so a comparator never silently
+//! diffs two reports written under different layouts: [`Report::parse`]
+//! rejects any version mismatch, and `bench_compare` turns that rejection
+//! into its usage-error exit status (2).
+
+use serde::{Deserialize, Serialize};
+
+/// Version of the on-disk report layout. Bump whenever a field is added,
+/// removed, or reinterpreted; checked-in `BENCH_*.json` baselines must be
+/// regenerated in the same commit.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// One measured bench row: fixed iteration count, best-of-trials ns/op.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+pub struct Row {
+    pub name: String,
+    pub iters: u64,
+    pub ns_per_op: f64,
+}
+
+/// A full bench report: which suite produced it, under which schema layout.
+#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Suite identity (e.g. `drink-bench/hotpath`). Comparing rows across
+    /// different suites is meaningless, so `bench_compare` requires equality.
+    pub schema: String,
+    /// Layout version; see [`SCHEMA_VERSION`].
+    pub schema_version: u64,
+    pub rows: Vec<Row>,
+}
+
+impl Report {
+    /// Fresh empty report for `suite` under the current schema version.
+    pub fn new(suite: &str) -> Self {
+        Report {
+            schema: suite.to_string(),
+            schema_version: SCHEMA_VERSION,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Record one row.
+    pub fn push(&mut self, name: String, iters: u64, ns_per_op: f64) {
+        self.rows.push(Row { name, iters, ns_per_op });
+    }
+
+    /// Parse a report, rejecting schema-version mismatches with a message
+    /// that tells the operator what to regenerate.
+    pub fn parse(text: &str) -> Result<Report, String> {
+        let report: Report = serde_json::from_str(text).map_err(|e| {
+            if text.contains("schema_version") {
+                format!("invalid bench report: {e}")
+            } else {
+                format!(
+                    "bench report predates schema_version (layout v{SCHEMA_VERSION}); \
+                     regenerate the baseline with the current binaries"
+                )
+            }
+        })?;
+        if report.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version mismatch: report is v{}, this binary expects v{}; \
+                 regenerate the baseline",
+                report.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(report)
+    }
+
+    /// Load and validate a report file.
+    pub fn load(path: &str) -> Result<Report, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Report::parse(&text).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Write the report as pretty JSON (trailing newline, like the checked-in
+    /// baselines).
+    pub fn write(&self, path: &str) -> Result<(), String> {
+        let json = serde_json::to_string_pretty(self).map_err(|e| format!("{path}: {e}"))?;
+        std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_json() {
+        let mut r = Report::new("drink-bench/test");
+        r.push("row_a".into(), 100, 12.5);
+        r.push("row_b".into(), 200, 0.75);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back = Report::parse(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn rejects_version_mismatch() {
+        let mut r = Report::new("drink-bench/test");
+        r.schema_version = SCHEMA_VERSION + 1;
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let err = Report::parse(&json).unwrap_err();
+        assert!(err.contains("schema_version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn rejects_pre_versioned_reports_with_guidance() {
+        let legacy = r#"{"schema": "drink-bench/hotpath/v1", "rows": []}"#;
+        let err = Report::parse(legacy).unwrap_err();
+        assert!(err.contains("predates schema_version"), "{err}");
+    }
+}

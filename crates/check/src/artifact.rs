@@ -11,6 +11,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
+use drink_runtime::ThreadTrace;
 use drink_workloads::WorkloadSpec;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +30,9 @@ pub struct FailureArtifact {
     pub failure: String,
     /// Per-thread schedule-decision traces recorded up to the failure.
     pub traces: Vec<Vec<TraceStep>>,
+    /// Per-thread protocol-event timelines (the last ring-capacity events
+    /// each thread recorded before the failure; see `drink_runtime::trace`).
+    pub events: Vec<ThreadTrace>,
 }
 
 impl FailureArtifact {
@@ -87,6 +91,14 @@ mod tests {
                 }],
                 vec![],
             ],
+            events: vec![drink_runtime::ThreadTrace {
+                tid: 0,
+                events: vec![drink_runtime::TraceRecord {
+                    ts_ns: 41,
+                    kind: drink_runtime::TraceKind::CoordRequest,
+                    arg: 2,
+                }],
+            }],
         }
     }
 
@@ -98,6 +110,7 @@ mod tests {
         assert_eq!(a.engine, b.engine);
         assert_eq!(a.failure, b.failure);
         assert_eq!(a.traces, b.traces);
+        assert_eq!(a.events, b.events);
         assert_eq!(a.spec.name, b.spec.name);
         assert_eq!(a.spec.threads, b.spec.threads);
         assert_eq!(a.spec.ops(0), b.spec.ops(0), "spec round-trips op-exactly");

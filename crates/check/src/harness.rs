@@ -14,7 +14,7 @@
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use drink_runtime::{Runtime, SchedHooks};
+use drink_runtime::{RingTraceSink, Runtime, SchedHooks, ThreadTrace, TraceSink};
 use drink_workloads::{run_kind_on, runtime_config_for, EngineKind, RunResult, WorkloadSpec};
 
 use crate::artifact::FailureArtifact;
@@ -91,6 +91,11 @@ pub struct CellRun {
     pub traces: Vec<Vec<TraceStep>>,
 }
 
+/// Ring capacity for the event timelines embedded in failure artifacts:
+/// the last N protocol events per thread, enough to see the state-word
+/// transitions leading into a failure without bloating artifact files.
+pub const CHAOS_TRACE_CAPACITY: usize = 256;
+
 /// Run `spec` under `kind` with `sched` registered, catching worker panics
 /// and applying the quiescence oracle. Returns the failure description on
 /// any failure.
@@ -99,17 +104,31 @@ pub fn run_chaos(
     spec: &WorkloadSpec,
     sched: Arc<dyn SchedHooks>,
 ) -> Result<RunResult, String> {
+    run_chaos_traced(kind, spec, sched).map_err(|(failure, _)| failure)
+}
+
+/// [`run_chaos`] with protocol-event tracing enabled: on failure, also
+/// returns the per-thread event timelines captured up to the failure point.
+/// The ring sink lives *outside* the `catch_unwind` so the rings survive the
+/// worker panic that tore down the runtime.
+pub fn run_chaos_traced(
+    kind: EngineKind,
+    spec: &WorkloadSpec,
+    sched: Arc<dyn SchedHooks>,
+) -> Result<RunResult, (String, Vec<ThreadTrace>)> {
     install_panic_recorder();
     drain_panic_messages();
+    let sink = Arc::new(RingTraceSink::new(spec.threads, CHAOS_TRACE_CAPACITY));
     let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
         let mut rt = Runtime::new(runtime_config_for(spec));
         rt.set_sched_hooks(sched);
+        rt.set_trace_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
         let rt = Arc::new(rt);
         let run = run_kind_on(kind, Arc::clone(&rt), spec);
         oracle::check_quiescent(&rt, kind.label()).map(|()| run)
     }));
     match outcome {
-        Ok(result) => result,
+        Ok(result) => result.map_err(|failure| (failure, sink.snapshot().threads)),
         Err(payload) => {
             let mut msgs = drain_panic_messages();
             if msgs.is_empty() {
@@ -120,7 +139,7 @@ pub fn run_chaos(
                     .unwrap_or_else(|| "<non-string panic payload>".into());
                 msgs.push(msg);
             }
-            Err(msgs.join(" | "))
+            Err((msgs.join(" | "), sink.snapshot().threads))
         }
     }
 }
@@ -129,17 +148,18 @@ pub fn run_chaos(
 /// recorded up to the failure point.
 pub fn run_cell(kind: EngineKind, spec: &WorkloadSpec, seed: u64) -> Result<CellRun, FailureArtifact> {
     let chaos = Arc::new(ChaosSched::new(seed, spec.threads));
-    match run_chaos(kind, spec, chaos.clone()) {
+    match run_chaos_traced(kind, spec, chaos.clone()) {
         Ok(run) => Ok(CellRun {
             run,
             traces: chaos.take_traces(),
         }),
-        Err(failure) => Err(FailureArtifact {
+        Err((failure, events)) => Err(FailureArtifact {
             seed,
             engine: kind.label().to_string(),
             spec: spec.clone(),
             failure,
             traces: chaos.take_traces(),
+            events,
         }),
     }
 }
@@ -241,6 +261,7 @@ mod tests {
             spec,
             failure: String::new(),
             traces: cell.traces,
+            events: Vec::new(),
         };
         let replayed = replay_traces(&artifact, artifact.traces.clone()).expect("replay clean");
         assert_eq!(replayed.report.accesses(), cell.run.report.accesses());

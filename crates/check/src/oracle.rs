@@ -96,6 +96,7 @@ pub fn differential_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureA
             spec: spec.clone(),
             failure,
             traces,
+            events: Vec::new(),
         };
 
         let a = cell.run.report.accesses();

@@ -59,7 +59,11 @@ fn with_watchdog(done: Arc<AtomicBool>, what: &'static str) -> impl Drop {
 
 fn run_ticket_exchange(seed: u64, waiters: usize, notifiers: usize, tickets_each: u64) {
     let threads = waiters + notifiers + 1; // +1: the shutdown "closer" thread
-    let mut cfg = RuntimeConfig::sized(threads, 1, 1);
+    let mut cfg = RuntimeConfig::builder()
+        .max_threads(threads)
+        .heap_objects(1)
+        .monitors(1)
+        .build();
     cfg.monitor_spin_iters = 4; // park early: the parking windows are the test
     let mut rt = Runtime::new(cfg);
     rt.set_sched_hooks(Arc::new(ChaosSched::new(seed, threads)));

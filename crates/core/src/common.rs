@@ -21,7 +21,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use drink_runtime::{
-    Event, MonitorId, ObjId, RtHooks, Runtime, SchedPoint, ThreadId,
+    Event, MonitorId, ObjId, RtHooks, Runtime, SchedPoint, ThreadId, TraceKind,
 };
 
 use crate::policy::AdaptivePolicy;
@@ -146,6 +146,7 @@ impl<S: Support> EngineCommon<S> {
             return;
         }
         ts.stats.bump(Event::LockBufferFlush);
+        self.rt.trace(ts.tid, TraceKind::LockBufferFlush, ts.lock_buffer.len() as u64);
         // Swap the buffer out: unlock CASes can trigger support callbacks in
         // the future, and re-entrant pushes into a borrowed Vec would be UB.
         let mut buffer = std::mem::take(&mut ts.lock_buffer);
@@ -192,8 +193,15 @@ impl<S: Support> EngineCommon<S> {
             match state.compare_exchange_weak(cur, new.0, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
                     ts.stats.bump(Event::StateUnlocked);
-                    if unlocked.is_pess_unlocked() && to_opt {
-                        ts.stats.bump(Event::PessToOpt);
+                    if unlocked.is_pess_unlocked() {
+                        // Policy-valve decision: released to optimistic, or
+                        // deliberately held pessimistic.
+                        if to_opt {
+                            ts.stats.bump(Event::PessToOpt);
+                            self.rt.trace(ts.tid, TraceKind::PessToOpt, o.0 as u64);
+                        } else {
+                            self.rt.trace(ts.tid, TraceKind::ValveStayPess, o.0 as u64);
+                        }
                     }
                     return;
                 }
@@ -253,6 +261,7 @@ impl<S: Support> EngineCommon<S> {
         self.flush_lock_buffer(ts);
         ts.stats.bump(Event::RespondedExplicit);
         ts.stats.add(Event::CoordBatchRequests, reqs.len() as u64);
+        self.rt.trace(ts.tid, TraceKind::CoordRespond, reqs.len() as u64);
         self.support.on_responded(self.cx(ts), clock);
         for req in reqs.drain(..) {
             req.token.complete(clock);
@@ -479,7 +488,11 @@ mod tests {
     use drink_runtime::RuntimeConfig;
 
     fn engine() -> EngineCommon<NullSupport> {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 16, 2)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(16)
+        .monitors(2)
+        .build()));
         EngineCommon::new(rt, NullSupport, AdaptivePolicy::default())
     }
 
@@ -524,7 +537,11 @@ mod tests {
     #[test]
     fn flush_respects_policy_to_optimistic() {
         use crate::policy::{PolicyParams, Phase};
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 16, 2)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(16)
+        .monitors(2)
+        .build()));
         let e = EngineCommon::new(
             rt,
             NullSupport,

@@ -22,7 +22,12 @@
 //! blocked; the stale queued request is answered harmlessly when the remote
 //! eventually wakes.
 
-use drink_runtime::{CoordRequest, ResponseToken, Runtime, SchedPoint, ThreadId, ThreadStatus};
+use std::time::Instant;
+
+use drink_runtime::{
+    CoordRequest, LatencyKind, ResponseToken, Runtime, SchedPoint, ThreadId, ThreadStatus,
+    TraceKind,
+};
 
 use crate::support::CoordMode;
 
@@ -52,11 +57,14 @@ pub fn coordinate_one(
 ) -> CoordOutcome {
     debug_assert_ne!(me, remote, "a thread never coordinates with itself");
     let ctl = rt.control(remote);
+    let t0 = Instant::now();
     let mut pending: Option<std::sync::Arc<ResponseToken>> = None;
     let mut spin = rt.spinner_for(me, "coordination response");
     loop {
         if let Some(tok) = &pending {
             if tok.is_done() {
+                rt.stats()
+                    .record_latency(LatencyKind::CoordRoundtrip, t0.elapsed().as_nanos() as u64);
                 return CoordOutcome {
                     mode: CoordMode::Explicit,
                     source_clock: tok.responder_clock(),
@@ -70,6 +78,7 @@ pub fn coordinate_one(
                     // published BLOCKED, so this read dominates its last
                     // access. (If we also enqueued an explicit request, the
                     // remote answers the stale token on wake; nobody reads it.)
+                    rt.trace(me, TraceKind::CoordImplicit, remote.raw() as u64);
                     return CoordOutcome {
                         mode: CoordMode::Implicit,
                         source_clock: ctl.release_clock(),
@@ -85,6 +94,7 @@ pub fn coordinate_one(
                         obj,
                         token: token.clone(),
                     });
+                    rt.trace(me, TraceKind::CoordRequest, remote.raw() as u64);
                     rt.sched_point(me, SchedPoint::CoordRequest);
                     pending = Some(token);
                 }
@@ -112,8 +122,10 @@ pub fn coordinate_all_seq(
     sources: &mut Vec<(ThreadId, u64)>,
 ) -> CoordMode {
     let n = rt.registered_threads();
+    let t0 = Instant::now();
     let mut any_explicit = false;
     let mut any_implicit = false;
+    let before = sources.len();
     for i in 0..n {
         let remote = ThreadId(i as u16);
         if remote == me {
@@ -127,6 +139,8 @@ pub fn coordinate_all_seq(
             CoordMode::Mixed => unreachable!("coordinate_one never returns Mixed"),
         }
     }
+    rt.stats().record_latency(LatencyKind::FanoutComplete, t0.elapsed().as_nanos() as u64);
+    rt.trace(me, TraceKind::FanoutComplete, (sources.len() - before) as u64);
     combine_modes(any_explicit, any_implicit)
 }
 
@@ -183,8 +197,10 @@ pub fn coordinate_many(
     pending: &mut Vec<PendingPeer>,
 ) -> CoordMode {
     let n = rt.registered_threads();
+    let t0 = Instant::now();
     let mut any_explicit = false;
     let mut any_implicit = false;
+    let before = sources.len();
     pending.clear();
 
     // Phase 1: snapshot the live peers, resolving what needs no roundtrip.
@@ -219,6 +235,7 @@ pub fn coordinate_many(
         // Phase 2 happens inside the first `advance` pass over `pending`:
         // every still-running peer gets its request enqueued before any
         // backoff, so all responders work concurrently.
+        rt.trace(me, TraceKind::FanoutEnqueue, pending.len() as u64);
         rt.sched_point(me, SchedPoint::CoordFanoutEnqueue);
         let mut spin = rt.spinner_for(me, "fan-out coordination responses");
         loop {
@@ -226,11 +243,13 @@ pub fn coordinate_many(
             pending.retain_mut(|p| {
                 match advance_peer(rt, me, obj, p) {
                     Some((clock, CoordMode::Explicit)) => {
+                        rt.trace(me, TraceKind::FanoutPeerDone, p.remote.raw() as u64);
                         sources.push((p.remote, clock));
                         any_explicit = true;
                         false
                     }
                     Some((clock, _)) => {
+                        rt.trace(me, TraceKind::FanoutPeerDone, p.remote.raw() as u64);
                         sources.push((p.remote, clock));
                         any_implicit = true;
                         false
@@ -247,6 +266,8 @@ pub fn coordinate_many(
             spin.spin();
         }
     }
+    rt.stats().record_latency(LatencyKind::FanoutComplete, t0.elapsed().as_nanos() as u64);
+    rt.trace(me, TraceKind::FanoutComplete, (sources.len() - before) as u64);
     combine_modes(any_explicit, any_implicit)
 }
 
@@ -282,6 +303,7 @@ fn advance_peer(
                     obj,
                     token: token.clone(),
                 });
+                rt.trace(me, TraceKind::CoordRequest, p.remote.raw() as u64);
                 rt.sched_point(me, SchedPoint::CoordRequest);
                 p.token = Some(token);
             }

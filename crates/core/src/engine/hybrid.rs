@@ -25,7 +25,7 @@
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
-use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId, TraceKind};
 
 use crate::common::EngineCommon;
 use crate::coord::{coordinate_many, coordinate_one};
@@ -144,10 +144,14 @@ impl<S: Support> HybridEngine<S> {
     }
 
     fn finish_opt_conflict(&self, ts: &mut ThreadState, o: ObjId, mode: CoordMode, write: bool) {
-        ts.stats.bump(match mode {
-            CoordMode::Explicit | CoordMode::Mixed => Event::OptConflictExplicit,
-            CoordMode::Implicit => Event::OptConflictImplicit,
-        });
+        let (ev, tk) = match mode {
+            CoordMode::Explicit | CoordMode::Mixed => {
+                (Event::OptConflictExplicit, TraceKind::ConflictExplicit)
+            }
+            CoordMode::Implicit => (Event::OptConflictImplicit, TraceKind::ConflictImplicit),
+        };
+        ts.stats.bump(ev);
+        self.common.rt.trace(ts.tid, tk, o.0 as u64);
         let cx = SupportCx {
             rt: &self.common.rt,
             t: ts.tid,
@@ -234,6 +238,7 @@ impl<S: Support> HybridEngine<S> {
 
     fn bump_pess(&self, ts: &mut ThreadState, o: ObjId, conflicting: bool, contended: bool) {
         ts.stats.bump(Event::PessUncontended);
+        self.common.rt.trace(ts.tid, TraceKind::PessClaim, o.0 as u64);
         if conflicting {
             ts.stats.bump(Event::PessOwnerChange);
         }
@@ -324,6 +329,7 @@ impl<S: Support> HybridEngine<S> {
                         .is_ok()
                     {
                         ts.stats.bump(Event::OptUpgrading);
+                        self.common.rt.trace(ts.tid, TraceKind::OptUpgrade, o.0 as u64);
                         let cx = self.common.cx(ts);
                         self.common.support.on_transition(cx, o, TransitionEv::UpgradeOwn);
                         return true;
@@ -354,6 +360,7 @@ impl<S: Support> HybridEngine<S> {
                     state.store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::Release);
                     ts.push_lock(o);
                     ts.stats.bump(Event::OptToPess);
+                    self.common.rt.trace(ts.tid, TraceKind::OptToPess, o.0 as u64);
                     if self.cfg.eager_unlock {
                         self.eager_unlock_now(ts, o);
                     }
@@ -447,6 +454,7 @@ impl<S: Support> HybridEngine<S> {
             if !contended {
                 contended = true;
                 ts.stats.bump(Event::PessContended);
+                self.common.rt.trace(ts.tid, TraceKind::PessContended, o.0 as u64);
             }
             self.contended_coordinate(ts, o, w);
             if abortable && self.common.support.should_abort(t) {
@@ -470,6 +478,7 @@ impl<S: Support> HybridEngine<S> {
             return None;
         }
         ts.stats.bump(Event::Write);
+        self.common.rt.trace(t, TraceKind::Write, o.0 as u64);
         let prev = obj.data_read();
         obj.data_write(v);
         ts.op_index += 1;
@@ -510,6 +519,7 @@ impl<S: Support> HybridEngine<S> {
                             fence(Ordering::Acquire);
                             ts.rd_sh_count = c;
                             ts.stats.bump(Event::OptFence);
+                            self.common.rt.trace(ts.tid, TraceKind::OptFence, o.0 as u64);
                             let cx = self.common.cx(ts);
                             self.common
                                 .support
@@ -525,6 +535,7 @@ impl<S: Support> HybridEngine<S> {
                             let c = self.common.post_epoch(pre);
                             ts.rd_sh_count = ts.rd_sh_count.max(c);
                             ts.stats.bump(Event::OptUpgrading);
+                        self.common.rt.trace(ts.tid, TraceKind::OptUpgrade, o.0 as u64);
                             let cx = self.common.cx(ts);
                             self.common.support.on_transition(
                                 cx,
@@ -564,6 +575,7 @@ impl<S: Support> HybridEngine<S> {
                             );
                             ts.push_read_lock(o);
                             ts.stats.bump(Event::OptToPess);
+                    self.common.rt.trace(ts.tid, TraceKind::OptToPess, o.0 as u64);
                             if self.cfg.eager_unlock {
                                 self.eager_unlock_now(ts, o);
                             }
@@ -658,6 +670,7 @@ impl<S: Support> HybridEngine<S> {
                     if !contended {
                         contended = true;
                         ts.stats.bump(Event::PessContended);
+                        self.common.rt.trace(ts.tid, TraceKind::PessContended, o.0 as u64);
                     }
                     self.contended_coordinate(ts, o, w);
                     spin.spin();
@@ -834,6 +847,7 @@ impl<S: Support> Tracker for HybridEngine<S> {
         } else {
             self.read_slow(ts, o);
         }
+        self.common.rt.trace(t, TraceKind::Read, o.0 as u64);
         let v = obj.data_read();
         ts.op_index += 1;
         v
@@ -895,7 +909,11 @@ mod tests {
 
     fn engine_with(policy: PolicyParams) -> HybridEngine {
         HybridEngine::with_config(
-            Arc::new(Runtime::new(RuntimeConfig::sized(8, 32, 4))),
+            Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(8)
+        .heap_objects(32)
+        .monitors(4)
+        .build())),
             NullSupport,
             HybridConfig {
                 policy,
@@ -1122,7 +1140,11 @@ mod tests {
         // a read of WrExPess(T1) by T1 write-locks, so a second reader
         // contends even without an object-level data race.
         let e = HybridEngine::with_config(
-            Arc::new(Runtime::new(RuntimeConfig::sized(8, 32, 4))),
+            Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(8)
+        .heap_objects(32)
+        .monitors(4)
+        .build())),
             NullSupport,
             HybridConfig {
                 policy: eager_pess(),
@@ -1293,7 +1315,11 @@ mod tests {
         // §3.1's strawman: states unlock after every access. Reentrancy
         // disappears, the lock buffer stays empty, and tracking stays sound.
         let e = HybridEngine::with_config(
-            Arc::new(Runtime::new(RuntimeConfig::sized(8, 32, 4))),
+            Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(8)
+        .heap_objects(32)
+        .monitors(4)
+        .build())),
             NullSupport,
             HybridConfig {
                 policy: eager_pess(),

@@ -234,7 +234,11 @@ mod tests {
     fn ideal_never_waits_for_other_threads() {
         // Conflict with a thread that never reaches a safe point: sound
         // optimistic tracking would hang; the ideal estimate proceeds.
-        let e = IdealEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(4, 8, 1))));
+        let e = IdealEngine::new(Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(8)
+        .monitors(1)
+        .build())));
         let t0 = e.attach();
         let o = ObjId(0);
         e.alloc_init(o, t0);
@@ -263,7 +267,11 @@ mod tests {
 
     #[test]
     fn ideal_same_state_accesses_stay_optimistic() {
-        let e = IdealEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1))));
+        let e = IdealEngine::new(Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build())));
         let t = e.attach();
         let o = ObjId(1);
         e.alloc_init(o, t);

@@ -76,7 +76,11 @@ mod tests {
 
     #[test]
     fn baseline_reads_writes_data_directly() {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let e = NoTracking::new(rt);
         let t = e.attach();
         e.write(t, ObjId(1), 7);
@@ -87,7 +91,11 @@ mod tests {
 
     #[test]
     fn baseline_monitors_exclude() {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let e = NoTracking::new(rt);
         let t = e.attach();
         e.lock(t, MonitorId(0));

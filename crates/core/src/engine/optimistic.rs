@@ -20,7 +20,7 @@
 use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
-use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId, TraceKind};
 
 use crate::common::EngineCommon;
 use crate::coord::{coordinate_many, coordinate_one};
@@ -103,6 +103,7 @@ impl<S: Support> OptimisticEngine<S> {
                     .is_ok()
                 {
                     ts.stats.bump(Event::OptUpgrading);
+                        self.common.rt.trace(ts.tid, TraceKind::OptUpgrade, o.0 as u64);
                     let cx = self.common.cx(ts);
                     self.common.support.on_transition(cx, o, TransitionEv::UpgradeOwn);
                     return true;
@@ -143,6 +144,7 @@ impl<S: Support> OptimisticEngine<S> {
             return None;
         }
         ts.stats.bump(Event::Write);
+        self.common.rt.trace(t, TraceKind::Write, o.0 as u64);
         let prev = obj.data_read();
         obj.data_write(v);
         ts.op_index += 1;
@@ -179,6 +181,7 @@ impl<S: Support> OptimisticEngine<S> {
                         fence(Ordering::Acquire);
                         ts.rd_sh_count = c;
                         ts.stats.bump(Event::OptFence);
+                        self.common.rt.trace(ts.tid, TraceKind::OptFence, o.0 as u64);
                         let cx = self.common.cx(ts);
                         self.common
                             .support
@@ -196,6 +199,7 @@ impl<S: Support> OptimisticEngine<S> {
                         let final_w = StateWord::rd_sh_opt(c);
                         ts.rd_sh_count = ts.rd_sh_count.max(c);
                         ts.stats.bump(Event::OptUpgrading);
+                        self.common.rt.trace(ts.tid, TraceKind::OptUpgrade, o.0 as u64);
                         let cx = self.common.cx(ts);
                         self.common.support.on_transition(
                             cx,
@@ -339,6 +343,7 @@ impl<S: Support> Tracker for OptimisticEngine<S> {
         } else {
             self.read_slow(ts, o);
         }
+        self.common.rt.trace(t, TraceKind::Read, o.0 as u64);
         let v = obj.data_read();
         ts.op_index += 1;
         v
@@ -397,7 +402,11 @@ mod tests {
     use drink_runtime::RuntimeConfig;
 
     fn engine() -> OptimisticEngine {
-        OptimisticEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(8, 16, 2))))
+        OptimisticEngine::new(Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(8)
+        .heap_objects(16)
+        .monitors(2)
+        .build())))
     }
 
     fn state_of(e: &OptimisticEngine, o: ObjId) -> StateWord {

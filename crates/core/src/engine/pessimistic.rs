@@ -22,7 +22,7 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId};
+use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId, TraceKind};
 
 use crate::common::EngineCommon;
 use crate::engine::Tracker;
@@ -104,6 +104,14 @@ impl<S: Support> PessimisticEngine<S> {
         // Unlock + update metadata (release = the paper's memfence).
         state.store(new.0, Ordering::Release);
         ts.stats.bump(Event::PessUncontended);
+        self.common.rt.trace(
+            t,
+            match write {
+                Some(_) => TraceKind::Write,
+                None => TraceKind::Read,
+            },
+            o.0 as u64,
+        );
         // §7.5's remote-cache-miss proxy: did this access take the state
         // from a different thread than the previous access?
         if old.kind() != Kind::RdSh && old.owner() != t {
@@ -186,7 +194,11 @@ mod tests {
     use drink_runtime::RuntimeConfig;
 
     fn engine() -> PessimisticEngine {
-        PessimisticEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(8, 16, 2))))
+        PessimisticEngine::new(Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(8)
+        .heap_objects(16)
+        .monitors(2)
+        .build())))
     }
 
     #[test]

@@ -25,7 +25,11 @@
 //! use drink_core::prelude::*;
 //! use drink_runtime::{ObjId, Runtime, RuntimeConfig};
 //!
-//! let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 16, 2)));
+//! let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+//!     .max_threads(4)
+//!     .heap_objects(16)
+//!     .monitors(2)
+//!     .build()));
 //! let engine = HybridEngine::new(rt);
 //! std::thread::scope(|s| {
 //!     for _ in 0..2 {

@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn session_lifecycle_and_basic_ops() {
-        let e = HybridEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(4, 8, 2))));
+        let e = HybridEngine::new(Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(8)
+        .monitors(2)
+        .build())));
         {
             let s = Session::attach(&e);
             assert_eq!(s.tid(), ThreadId(0));
@@ -148,7 +152,11 @@ mod tests {
 
     #[test]
     fn finish_is_idempotent_with_drop() {
-        let e = HybridEngine::new(Arc::new(Runtime::new(RuntimeConfig::sized(4, 8, 2))));
+        let e = HybridEngine::new(Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(8)
+        .monitors(2)
+        .build())));
         let s = Session::attach(&e);
         s.write(ObjId(1), 1);
         s.finish(); // no double-detach on the implicit drop

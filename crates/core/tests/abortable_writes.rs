@@ -43,7 +43,11 @@ fn run_abort_scenario<F>(make_engine: F)
 where
     F: FnOnce(Arc<Runtime>, AbortOnYield) -> Box<dyn EngineOps>,
 {
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let support = AbortOnYield::default();
     let engine = make_engine(rt, support.clone());
 
@@ -170,7 +174,11 @@ fn optimistic_doomed_write_aborts_cleanly() {
 
 #[test]
 fn try_write_succeeds_when_not_doomed() {
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let engine = HybridEngine::with_config(rt, AbortOnYield::default(), HybridConfig::default());
     let t = Tracker::attach(&engine);
     Tracker::alloc_init(&engine, O, t);

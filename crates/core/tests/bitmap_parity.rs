@@ -136,7 +136,11 @@ fn bitmap_counts_match_hashset_reference_model() {
     const ROUNDS: usize = 8;
 
     let e = HybridEngine::with_config(
-        Arc::new(Runtime::new(RuntimeConfig::sized(2, OBJECTS as usize, 1))),
+        Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(OBJECTS as usize)
+        .monitors(1)
+        .build())),
         NullSupport,
         HybridConfig {
             policy: inert_policy(),

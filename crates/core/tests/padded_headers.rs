@@ -11,10 +11,12 @@ use drink_core::prelude::*;
 use drink_runtime::{Event, MonitorId, ObjId, Runtime, RuntimeConfig, StatsReport};
 
 fn run(padded: bool) -> (Vec<u64>, StatsReport) {
-    let config = RuntimeConfig {
-        padded_headers: padded,
-        ..RuntimeConfig::sized(2, 16, 1)
-    };
+    let config = RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(16)
+        .monitors(1)
+        .padded_headers(padded)
+        .build();
     let rt = Arc::new(Runtime::new(config));
     assert_eq!(rt.heap().is_padded(), padded);
     let engine = HybridEngine::new(rt);

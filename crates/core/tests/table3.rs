@@ -30,7 +30,11 @@ fn inert_policy() -> PolicyParams {
 
 fn engine() -> HybridEngine {
     HybridEngine::with_config(
-        Arc::new(Runtime::new(RuntimeConfig::sized(4, 8, 2))),
+        Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(8)
+        .monitors(2)
+        .build())),
         NullSupport,
         HybridConfig {
             policy: inert_policy(),
@@ -496,7 +500,11 @@ fn prototype_self_read_mode_write_locks() {
     // §7.1: the 32-bit prototype transitions WrExPess(T) R by T to
     // WrExWLock(T) instead of WrExRLock(T).
     let e = HybridEngine::with_config(
-        Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1))),
+        Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build())),
         NullSupport,
         HybridConfig {
             policy: inert_policy(),
@@ -515,7 +523,11 @@ fn prototype_self_read_mode_write_locks() {
 fn unsound_self_read_mode_downgrades() {
     // §7.1's unsound diagnostic: self-read loses the write bit.
     let e = HybridEngine::with_config(
-        Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1))),
+        Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build())),
         NullSupport,
         HybridConfig {
             policy: inert_policy(),

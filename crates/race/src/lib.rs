@@ -248,7 +248,11 @@ mod tests {
         threads: usize,
         objects: usize,
     ) -> (HybridEngine<RaceDetector>, RaceDetector) {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(threads, objects, 4)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(threads)
+        .heap_objects(objects)
+        .monitors(4)
+        .build()));
         let det = RaceDetector::for_runtime(&rt);
         let engine = HybridEngine::with_config(
             rt,

@@ -285,7 +285,11 @@ mod tests {
         log.threads[0].push_bump(1);
         log.threads[1].push_wait(0, ThreadId(0), 1);
 
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let e = ReplayEngine::new(rt, log);
         let o = ObjId(0);
 
@@ -321,7 +325,11 @@ mod tests {
         log.threads[0].push_bump(0); // pinned at op 0, but T0 executes no ops
         log.threads[1].push_wait(0, ThreadId(0), 1);
 
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let e = ReplayEngine::new(rt, log);
         std::thread::scope(|s| {
             for _ in 0..2 {

@@ -24,7 +24,11 @@
 //! use drink_rs::RsEnforcer;
 //! use drink_runtime::{ObjId, Runtime, RuntimeConfig};
 //!
-//! let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 8, 1)));
+//! let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+//!     .max_threads(2)
+//!     .heap_objects(8)
+//!     .monitors(1)
+//!     .build()));
 //! let enforcer = RsEnforcer::hybrid(rt);
 //! let t = enforcer.attach();
 //! // Atomically move a unit from one counter to another.

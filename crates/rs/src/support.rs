@@ -162,7 +162,11 @@ mod tests {
 
     #[test]
     fn rollback_restores_in_reverse_order() {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let table = RegionTable::new(rt.clone());
         let t = ThreadId(0);
         rt.obj(ObjId(0)).data_write(100);
@@ -184,7 +188,11 @@ mod tests {
 
     #[test]
     fn rollback_outside_region_is_noop() {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let table = RegionTable::new(rt.clone());
         rt.obj(ObjId(1)).data_write(7);
         unsafe { table.rollback(ThreadId(0)) };
@@ -194,7 +202,11 @@ mod tests {
 
     #[test]
     fn should_abort_only_in_rolled_back_region() {
-        let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+        let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
         let table = RegionTable::new(rt);
         let sup = RsSupport::new(table.clone());
         let t = ThreadId(0);

@@ -6,7 +6,11 @@ use drink_rs::RsEnforcer;
 use drink_runtime::{Event, ObjId, Runtime, RuntimeConfig};
 
 fn rt(threads: usize, objects: usize) -> Arc<Runtime> {
-    Arc::new(Runtime::new(RuntimeConfig::sized(threads, objects, 2)))
+    Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(threads)
+        .heap_objects(objects)
+        .monitors(2)
+        .build()))
 }
 
 /// Each region increments BOTH counters; a checker region must never observe

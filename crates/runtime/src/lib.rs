@@ -38,6 +38,7 @@ pub mod pad;
 pub mod runtime;
 pub mod spin;
 pub mod stats;
+pub mod trace;
 
 pub use control::{CoordRequest, ResponseToken, ThreadControl, ThreadStatus};
 pub use cost::CostModel;
@@ -45,9 +46,10 @@ pub use heap::{Heap, ObjHeader};
 pub use ids::{MonitorId, ObjId, ThreadId};
 pub use monitor::Monitor;
 pub use pad::CachePadded;
-pub use runtime::{Runtime, RuntimeConfig};
+pub use runtime::{Runtime, RuntimeConfig, RuntimeConfigBuilder};
 pub use spin::Spin;
-pub use stats::{Event, GlobalStats, LocalStats, StatsReport};
+pub use stats::{Event, GlobalStats, HistogramSnapshot, LatencyKind, LocalStats, StatsReport};
+pub use trace::{RingTraceSink, ThreadTrace, TraceKind, TraceRecord, TraceSink, TraceSnapshot};
 
 /// A schedule-relevant program point, as reported to [`SchedHooks`].
 ///

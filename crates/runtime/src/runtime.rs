@@ -1,7 +1,7 @@
 //! The runtime registry: threads, heap, monitors, global counters.
 
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use std::sync::Arc;
 
@@ -9,7 +9,8 @@ use crate::control::ThreadControl;
 use crate::heap::Heap;
 use crate::ids::{MonitorId, ObjId, ThreadId};
 use crate::monitor::{AcquireInfo, Monitor};
-use crate::stats::GlobalStats;
+use crate::stats::{GlobalStats, LatencyKind};
+use crate::trace::{RingTraceSink, TraceKind, TraceSink, TraceSnapshot};
 use crate::{RtHooks, SchedHooks, SchedPoint};
 
 /// Sizing and tuning knobs for one [`Runtime`] instance.
@@ -34,6 +35,11 @@ pub struct RuntimeConfig {
     /// The layout is fully encapsulated in [`crate::heap::Heap`]; flipping
     /// this never requires engine-code changes.
     pub padded_headers: bool,
+    /// Per-thread trace ring capacity (events). `0` (the default) disables
+    /// tracing entirely: no sink is installed and every trace site reduces
+    /// to one branch. Non-zero auto-installs a [`RingTraceSink`] holding the
+    /// last `trace_capacity` events per thread.
+    pub trace_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -45,6 +51,7 @@ impl Default for RuntimeConfig {
             spin_budget: crate::spin::DEFAULT_BUDGET,
             monitor_spin_iters: 300,
             padded_headers: false,
+            trace_capacity: 0,
         }
     }
 }
@@ -52,13 +59,75 @@ impl Default for RuntimeConfig {
 impl RuntimeConfig {
     /// Convenience constructor for the common (threads, objects, monitors)
     /// triple.
+    #[deprecated(note = "use RuntimeConfig::builder()")]
     pub fn sized(max_threads: usize, heap_objects: usize, monitors: usize) -> Self {
-        RuntimeConfig {
-            max_threads,
-            heap_objects,
-            monitors,
-            ..RuntimeConfig::default()
-        }
+        RuntimeConfig::builder()
+            .max_threads(max_threads)
+            .heap_objects(heap_objects)
+            .monitors(monitors)
+            .build()
+    }
+
+    /// Start building a config from the defaults. The builder is the one
+    /// supported construction path; every knob has a typed setter, so adding
+    /// a field never breaks call sites the way struct literals did.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder { config: RuntimeConfig::default() }
+    }
+}
+
+/// Builder for [`RuntimeConfig`]; see [`RuntimeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfigBuilder {
+    config: RuntimeConfig,
+}
+
+impl RuntimeConfigBuilder {
+    /// Maximum number of mutator threads that may register.
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.config.max_threads = n;
+        self
+    }
+
+    /// Number of tracked objects in the heap.
+    pub fn heap_objects(mut self, n: usize) -> Self {
+        self.config.heap_objects = n;
+        self
+    }
+
+    /// Number of program monitors.
+    pub fn monitors(mut self, n: usize) -> Self {
+        self.config.monitors = n;
+        self
+    }
+
+    /// Watchdog budget for every spin loop; zero disables the watchdog.
+    pub fn spin_budget(mut self, budget: Duration) -> Self {
+        self.config.spin_budget = budget;
+        self
+    }
+
+    /// Iterations a contended monitor acquire spins before parking.
+    pub fn monitor_spin_iters(mut self, iters: u32) -> Self {
+        self.config.monitor_spin_iters = iters;
+        self
+    }
+
+    /// Pad each object header to its own cache line.
+    pub fn padded_headers(mut self, padded: bool) -> Self {
+        self.config.padded_headers = padded;
+        self
+    }
+
+    /// Per-thread trace ring capacity; non-zero enables tracing.
+    pub fn trace_capacity(mut self, events: usize) -> Self {
+        self.config.trace_capacity = events;
+        self
+    }
+
+    /// Finish, yielding the config.
+    pub fn build(self) -> RuntimeConfig {
+        self.config
     }
 }
 
@@ -82,6 +151,9 @@ pub struct Runtime {
     /// Optional schedule-perturbation layer (crate `drink-check`). `None` in
     /// production runs; every perturbation site reduces to one branch.
     sched: Option<Arc<dyn SchedHooks>>,
+    /// Optional event-trace sink (`drink-trace`, [`crate::trace`]). `None`
+    /// keeps every trace site a single never-taken branch.
+    sink: Option<Arc<dyn TraceSink>>,
 }
 
 impl Runtime {
@@ -97,6 +169,11 @@ impl Runtime {
             .map(|_| Monitor::new())
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let sink: Option<Arc<dyn TraceSink>> = (config.trace_capacity > 0)
+            .then(|| {
+                Arc::new(RingTraceSink::new(config.max_threads, config.trace_capacity))
+                    as Arc<dyn TraceSink>
+            });
         Runtime {
             config,
             controls,
@@ -107,6 +184,7 @@ impl Runtime {
             next_tid: AtomicU16::new(0),
             stats: GlobalStats::new(),
             sched: None,
+            sink,
         }
     }
 
@@ -115,6 +193,35 @@ impl Runtime {
     /// after construction, before wrapping the runtime in an `Arc`.
     pub fn set_sched_hooks(&mut self, sched: Arc<dyn SchedHooks>) {
         self.sched = Some(sched);
+    }
+
+    /// Install (or replace) the event-trace sink. Like
+    /// [`Runtime::set_sched_hooks`] this takes `&mut self`: callers that need
+    /// the sink to outlive the runtime (the chaos harness keeps its `Arc`
+    /// across a `catch_unwind` so a crashed run's last events survive) clone
+    /// the `Arc` before handing it over.
+    pub fn set_trace_sink(&mut self, sink: Arc<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Whether a trace sink is installed (tracing on).
+    pub fn tracing_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record protocol event `kind` for thread `t`. With no sink installed
+    /// this is one pointer test; with the ring sink it is three relaxed
+    /// stores and a release store, never an allocation.
+    #[inline(always)]
+    pub fn trace(&self, t: ThreadId, kind: TraceKind, arg: u64) {
+        if let Some(sink) = &self.sink {
+            sink.record(t, kind, arg);
+        }
+    }
+
+    /// Snapshot every thread's recent events, or `None` when tracing is off.
+    pub fn trace_snapshot(&self) -> Option<TraceSnapshot> {
+        self.sink.as_ref().map(|s| s.snapshot())
     }
 
     /// Report that thread `t` reached schedule-relevant point `point`,
@@ -199,19 +306,35 @@ impl Runtime {
 
     // --- Monitor convenience wrappers ---
 
-    /// Acquire monitor `m` for thread `t` (see [`Monitor::acquire`]).
+    /// Acquire monitor `m` for thread `t` (see [`Monitor::acquire`]). Feeds
+    /// the acquire-latency histogram and the event trace; with neither
+    /// enabled the extra cost is two clock reads on a path that already
+    /// spins or parks.
     pub fn monitor_acquire<H: RtHooks>(&self, m: MonitorId, t: ThreadId, hooks: &H) -> AcquireInfo {
-        self.monitor(m)
-            .acquire(t, self.control(t), hooks, self.config.monitor_spin_iters)
+        let t0 = Instant::now();
+        let info = self
+            .monitor(m)
+            .acquire(t, self.control(t), hooks, self.config.monitor_spin_iters);
+        self.stats
+            .record_latency(LatencyKind::MonitorAcquire, t0.elapsed().as_nanos() as u64);
+        let kind = if info.blocked {
+            TraceKind::MonitorAcquireBlocked
+        } else {
+            TraceKind::MonitorAcquireFast
+        };
+        self.trace(t, kind, m.index() as u64);
+        info
     }
 
     /// Release monitor `m` (see [`Monitor::release`]).
     pub fn monitor_release<H: RtHooks>(&self, m: MonitorId, t: ThreadId, hooks: &H) {
+        self.trace(t, TraceKind::MonitorRelease, m.index() as u64);
         self.monitor(m).release(t, self.control(t), hooks)
     }
 
     /// Wait on monitor `m` (see [`Monitor::wait`]).
     pub fn monitor_wait<H: RtHooks>(&self, m: MonitorId, t: ThreadId, hooks: &H) -> AcquireInfo {
+        self.trace(t, TraceKind::MonitorWait, m.index() as u64);
         self.monitor(m).wait(t, self.control(t), hooks)
     }
 
@@ -264,9 +387,17 @@ mod tests {
     use super::*;
     use crate::NoHooks;
 
+    fn cfg(max_threads: usize, heap_objects: usize, monitors: usize) -> RuntimeConfig {
+        RuntimeConfig::builder()
+            .max_threads(max_threads)
+            .heap_objects(heap_objects)
+            .monitors(monitors)
+            .build()
+    }
+
     #[test]
     fn registration_is_dense() {
-        let rt = Runtime::new(RuntimeConfig::sized(4, 8, 2));
+        let rt = Runtime::new(cfg(4, 8, 2));
         assert_eq!(rt.register_thread(), ThreadId(0));
         assert_eq!(rt.register_thread(), ThreadId(1));
         assert_eq!(rt.registered_threads(), 2);
@@ -276,9 +407,73 @@ mod tests {
     #[test]
     #[should_panic(expected = "thread registry full")]
     fn registry_overflow_panics() {
-        let rt = Runtime::new(RuntimeConfig::sized(1, 1, 1));
+        let rt = Runtime::new(cfg(1, 1, 1));
         rt.register_thread();
         rt.register_thread();
+    }
+
+    #[test]
+    fn builder_sets_every_knob_and_sized_alias_matches() {
+        let built = RuntimeConfig::builder()
+            .max_threads(5)
+            .heap_objects(77)
+            .monitors(3)
+            .spin_budget(Duration::from_millis(123))
+            .monitor_spin_iters(9)
+            .padded_headers(true)
+            .trace_capacity(64)
+            .build();
+        assert_eq!(built.max_threads, 5);
+        assert_eq!(built.heap_objects, 77);
+        assert_eq!(built.monitors, 3);
+        assert_eq!(built.spin_budget, Duration::from_millis(123));
+        assert_eq!(built.monitor_spin_iters, 9);
+        assert!(built.padded_headers);
+        assert_eq!(built.trace_capacity, 64);
+
+        #[allow(deprecated)]
+        let legacy = RuntimeConfig::sized(5, 77, 3);
+        assert_eq!(legacy.max_threads, 5);
+        assert_eq!(legacy.heap_objects, 77);
+        assert_eq!(legacy.monitors, 3);
+        assert_eq!(legacy.trace_capacity, 0, "sized() keeps tracing off");
+    }
+
+    #[test]
+    fn tracing_off_by_default_and_on_via_builder() {
+        let off = Runtime::new(RuntimeConfig::default());
+        assert!(!off.tracing_enabled());
+        assert!(off.trace_snapshot().is_none());
+        // Off-path trace is a no-op, not a panic.
+        off.trace(ThreadId(0), TraceKind::Read, 1);
+
+        let on = Runtime::new(RuntimeConfig::builder().max_threads(2).trace_capacity(16).build());
+        assert!(on.tracing_enabled());
+        let t = on.register_thread();
+        on.trace(t, TraceKind::Write, 42);
+        let snap = on.trace_snapshot().unwrap();
+        assert_eq!(snap.threads.len(), 2);
+        assert_eq!(snap.threads[t.index()].events.len(), 1);
+        assert_eq!(snap.threads[t.index()].events[0].arg, 42);
+    }
+
+    #[test]
+    fn monitor_acquire_records_latency_and_trace() {
+        let rt = Runtime::new(
+            RuntimeConfig::builder().max_threads(2).monitors(1).trace_capacity(16).build(),
+        );
+        let t = rt.register_thread();
+        rt.monitor_acquire(MonitorId(0), t, &NoHooks);
+        rt.monitor_release(MonitorId(0), t, &NoHooks);
+        let report = rt.stats().report();
+        assert_eq!(report.latency(LatencyKind::MonitorAcquire).count(), 1);
+        assert!(report.latency(LatencyKind::MonitorAcquire).max() > 0);
+        let events: Vec<TraceKind> = rt.trace_snapshot().unwrap().threads[t.index()]
+            .events
+            .iter()
+            .map(|e| e.kind)
+            .collect();
+        assert_eq!(events, vec![TraceKind::MonitorAcquireFast, TraceKind::MonitorRelease]);
     }
 
     #[test]
@@ -306,7 +501,7 @@ mod tests {
 
     #[test]
     fn monitor_wrappers_work() {
-        let rt = Runtime::new(RuntimeConfig::sized(2, 2, 2));
+        let rt = Runtime::new(cfg(2, 2, 2));
         let t = rt.register_thread();
         let info = rt.monitor_acquire(MonitorId(0), t, &NoHooks);
         assert!(!info.blocked);

@@ -11,6 +11,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
+pub mod derived;
+
 /// Every countable event in the substrate and the tracking engines.
 ///
 /// The first block mirrors the transition taxonomy of Table 1/Table 3; the
@@ -263,10 +265,146 @@ impl LocalStats {
     }
 }
 
+/// The latency distributions the runtime measures, alongside the counters.
+/// Recording happens on slow paths only (an explicit roundtrip, a fan-out, a
+/// monitor acquire), straight into [`GlobalStats`] — [`LocalStats`] carries
+/// no histograms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum LatencyKind {
+    /// One explicit coordination roundtrip: request enqueued → token
+    /// completed by the remote's responding safe point.
+    CoordRoundtrip,
+    /// A whole RdSh fan-out (or sequential all-peer loop): entry to last
+    /// peer resolved.
+    FanoutComplete,
+    /// Monitor acquire, fast or blocked.
+    MonitorAcquire,
+}
+
+impl LatencyKind {
+    /// Number of kinds; also the length of [`LatencyKind::ALL`].
+    pub const COUNT: usize = 3;
+
+    /// Every kind, in discriminant order.
+    pub const ALL: [LatencyKind; LatencyKind::COUNT] =
+        [LatencyKind::CoordRoundtrip, LatencyKind::FanoutComplete, LatencyKind::MonitorAcquire];
+
+    /// Short dotted name, matching the [`Event`] convention.
+    pub fn name(self) -> &'static str {
+        match self {
+            LatencyKind::CoordRoundtrip => "latency.coord_roundtrip",
+            LatencyKind::FanoutComplete => "latency.fanout_complete",
+            LatencyKind::MonitorAcquire => "latency.monitor_acquire",
+        }
+    }
+}
+
+/// Number of log2 buckets per histogram: bucket `i` covers `[2^i, 2^(i+1))`
+/// nanoseconds, with bucket 31 absorbing everything ≥ 2³¹ ns (~2.1 s — far
+/// beyond any sane roundtrip; the spin watchdog fires first).
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// Shared-write HDR-style histogram: log2 buckets plus an exact maximum.
+/// All operations are relaxed atomics — totals are exact, cross-bucket
+/// ordering is not needed.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    max_ns: AtomicU64,
+}
+
+/// Bucket index for a nanosecond value: `floor(log2(ns))`, with 0 ns mapped
+/// to bucket 0 and everything past the top clamped to the last bucket.
+pub fn latency_bucket(ns: u64) -> usize {
+    ((63 - (ns | 1).leading_zeros()) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// Record one sample.
+    pub fn record(&self, ns: u64) {
+        self.buckets[latency_bucket(ns)].fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the current state into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; LATENCY_BUCKETS];
+        for (i, b) in self.buckets.iter().enumerate() {
+            buckets[i] = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot { buckets, max_ns: self.max_ns.load(Ordering::Relaxed) }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Immutable, serializable snapshot of one [`LatencyHistogram`], with the
+/// percentile arithmetic. A percentile is reported as its bucket's inclusive
+/// upper bound (`2^(i+1) - 1` ns), clamped to the exact observed maximum —
+/// so a reported pXX never understates the true pXX and overstates it by
+/// less than 2× (the log2 bucket width).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; LATENCY_BUCKETS],
+    pub max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The `p`-th percentile (`0 < p <= 100`) in nanoseconds, 0 if empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0 * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.percentile(50.0)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(90.0)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(99.0)
+    }
+
+    /// Exact observed maximum in nanoseconds.
+    pub fn max(&self) -> u64 {
+        self.max_ns
+    }
+}
+
 /// Process-wide aggregate of all mutators' counters.
 #[derive(Debug)]
 pub struct GlobalStats {
     counts: [AtomicU64; Event::COUNT],
+    hists: [LatencyHistogram; LatencyKind::COUNT],
 }
 
 impl Default for GlobalStats {
@@ -280,6 +418,7 @@ impl GlobalStats {
     pub fn new() -> Self {
         GlobalStats {
             counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            hists: Default::default(),
         }
     }
 
@@ -288,34 +427,59 @@ impl GlobalStats {
         self.counts[e as usize].load(Ordering::Relaxed)
     }
 
-    /// Snapshot every counter into a serializable report.
+    /// Record one latency sample (slow paths only; see [`LatencyKind`]).
+    pub fn record_latency(&self, kind: LatencyKind, ns: u64) {
+        self.hists[kind as usize].record(ns);
+    }
+
+    /// The live histogram for `kind`.
+    pub fn latency(&self, kind: LatencyKind) -> &LatencyHistogram {
+        &self.hists[kind as usize]
+    }
+
+    /// Snapshot every counter and histogram into a serializable report.
     pub fn report(&self) -> StatsReport {
         let mut counts = [0u64; Event::COUNT];
         for (i, c) in self.counts.iter().enumerate() {
             counts[i] = c.load(Ordering::Relaxed);
         }
-        StatsReport { counts }
+        let mut hists = [HistogramSnapshot::default(); LatencyKind::COUNT];
+        for (i, h) in self.hists.iter().enumerate() {
+            hists[i] = h.snapshot();
+        }
+        StatsReport { counts, hists }
     }
 
-    /// Reset all counters to zero (between benchmark phases).
+    /// Reset all counters and histograms to zero (between benchmark phases).
     pub fn reset(&self) {
         for c in &self.counts {
             c.store(0, Ordering::Relaxed);
         }
+        for h in &self.hists {
+            h.reset();
+        }
     }
 }
 
-/// An immutable snapshot of [`GlobalStats`], with the derived quantities the
-/// paper reports.
+/// An immutable snapshot of [`GlobalStats`]. Raw counts and latency
+/// histograms live here; every *derived* quantity (the paper's ratios, the
+/// latency percentiles) is defined once in [`derived::Metric`] — the methods
+/// below are thin delegating wrappers kept for call-site ergonomics.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
 pub struct StatsReport {
     counts: [u64; Event::COUNT],
+    hists: [HistogramSnapshot; LatencyKind::COUNT],
 }
 
 impl StatsReport {
     /// Count for one event kind.
     pub fn get(&self, e: Event) -> u64 {
         self.counts[e as usize]
+    }
+
+    /// Latency distribution snapshot for `kind`.
+    pub fn latency(&self, kind: LatencyKind) -> &HistogramSnapshot {
+        &self.hists[kind as usize]
     }
 
     /// Total tracked accesses (reads + writes).
@@ -341,12 +505,7 @@ impl StatsReport {
     /// Table 2, "%Reentrant": share of uncontended pessimistic transitions
     /// that were reentrant (no atomic operation).
     pub fn pess_reentrant_pct(&self) -> f64 {
-        let unc = self.pess_uncontended();
-        if unc == 0 {
-            0.0
-        } else {
-            100.0 * self.get(Event::PessReentrant) as f64 / unc as f64
-        }
+        derived::Metric::PessReentrantPct.eval(self)
     }
 
     /// Table 2, "Pessimistic / Contended".
@@ -367,12 +526,7 @@ impl StatsReport {
     /// Conflict rate: conflicting optimistic transitions (explicit only, as
     /// in Figure 6) over all accesses.
     pub fn explicit_conflict_rate(&self) -> f64 {
-        let acc = self.accesses();
-        if acc == 0 {
-            0.0
-        } else {
-            self.get(Event::OptConflictExplicit) as f64 / acc as f64
-        }
+        derived::Metric::ExplicitConflictRate.eval(self)
     }
 
     /// Mean number of explicit requests answered per responding safe point
@@ -380,23 +534,13 @@ impl StatsReport {
     /// responder-side batching coalesced requests: N tokens were answered by
     /// one release-clock bump instead of N.
     pub fn batch_occupancy(&self) -> f64 {
-        let responses = self.get(Event::RespondedExplicit);
-        if responses == 0 {
-            0.0
-        } else {
-            self.get(Event::CoordBatchRequests) as f64 / responses as f64
-        }
+        derived::Metric::BatchOccupancy.eval(self)
     }
 
     /// Mean number of peers per coordination fan-out (the conservative RdSh
     /// protocol's width).
     pub fn fanout_width(&self) -> f64 {
-        let fanouts = self.get(Event::CoordFanout);
-        if fanouts == 0 {
-            0.0
-        } else {
-            self.get(Event::CoordFanoutPeers) as f64 / fanouts as f64
-        }
+        derived::Metric::FanoutWidth.eval(self)
     }
 
     /// All (event, count) pairs with non-zero counts, for printing.
@@ -499,5 +643,119 @@ mod tests {
         assert_eq!(r.pess_reentrant_pct(), 0.0);
         assert_eq!(r.explicit_conflict_rate(), 0.0);
         assert!(r.nonzero().is_empty());
+    }
+
+    // --- latency histograms ---
+
+    /// splitmix64 — seeded randomized cases stand in for proptest (no such
+    /// dependency in this workspace).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Sorted-vec reference percentile with the same nearest-rank convention
+    /// as `HistogramSnapshot::percentile`.
+    fn reference_percentile(sorted: &[u64], p: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let rank = ((p / 100.0 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn bucket_boundaries_are_exact_powers_of_two() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(1), 0);
+        assert_eq!(latency_bucket(2), 1);
+        assert_eq!(latency_bucket(3), 1);
+        assert_eq!(latency_bucket(4), 2);
+        assert_eq!(latency_bucket(1023), 9);
+        assert_eq!(latency_bucket(1024), 10);
+        assert_eq!(latency_bucket(u64::MAX), LATENCY_BUCKETS - 1);
+        assert_eq!(latency_bucket((1 << 31) - 1), 30);
+        assert_eq!(latency_bucket(1 << 31), 31);
+        assert_eq!(latency_bucket(1 << 40), 31, "overflow clamps to top bucket");
+    }
+
+    #[test]
+    fn histogram_percentiles_match_sorted_vec_reference_proptest() {
+        let mut rng = 0x1157_0001u64;
+        for case in 0..100 {
+            let hist = LatencyHistogram::default();
+            let n = (splitmix64(&mut rng) % 500 + 1) as usize;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Mix of magnitudes: spread samples over ~2^0..2^30 ns.
+                let shift = splitmix64(&mut rng) % 31;
+                let v = splitmix64(&mut rng) % (1u64 << shift).max(2);
+                hist.record(v);
+                samples.push(v);
+            }
+            samples.sort_unstable();
+            let snap = hist.snapshot();
+            assert_eq!(snap.count(), n as u64);
+            assert_eq!(snap.max(), *samples.last().unwrap());
+            for p in [1.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+                let got = snap.percentile(p);
+                let want = reference_percentile(&samples, p);
+                // The histogram reports the bucket upper bound (clamped to
+                // the exact max): same log2 bucket as the reference value,
+                // and never below it.
+                assert_eq!(
+                    latency_bucket(got),
+                    latency_bucket(want),
+                    "case {case} p{p}: got {got} want bucket of {want}"
+                );
+                assert!(got >= want, "case {case} p{p}: {got} < {want}");
+                assert!(got <= snap.max(), "case {case} p{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_snapshot_serde_roundtrip() {
+        let hist = LatencyHistogram::default();
+        hist.record(7);
+        hist.record(100);
+        hist.record(1_000_000);
+        let snap = hist.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: HistogramSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.count(), 3);
+        assert_eq!(back.max(), 1_000_000);
+    }
+
+    #[test]
+    fn report_carries_histograms_and_reset_clears_them() {
+        let g = GlobalStats::new();
+        g.record_latency(LatencyKind::FanoutComplete, 512);
+        g.record_latency(LatencyKind::FanoutComplete, 2048);
+        let r = g.report();
+        assert_eq!(r.latency(LatencyKind::FanoutComplete).count(), 2);
+        assert_eq!(r.latency(LatencyKind::FanoutComplete).p50(), 1023);
+        assert_eq!(r.latency(LatencyKind::FanoutComplete).max(), 2048);
+        assert_eq!(r.latency(LatencyKind::CoordRoundtrip).count(), 0);
+        g.reset();
+        assert_eq!(g.report().latency(LatencyKind::FanoutComplete).count(), 0);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let snap = HistogramSnapshot::default();
+        assert_eq!(snap.p50(), 0);
+        assert_eq!(snap.p99(), 0);
+        assert_eq!(snap.max(), 0);
+    }
+
+    #[test]
+    fn latency_kind_names_follow_the_event_convention() {
+        for (i, k) in LatencyKind::ALL.iter().enumerate() {
+            assert_eq!(*k as usize, i);
+            assert!(k.name().starts_with("latency."));
+        }
     }
 }

@@ -1,0 +1,226 @@
+//! Derived metrics over a [`StatsReport`] — the single home for every ratio
+//! and percentile the bench bins, oracles, and tables print.
+//!
+//! Before this module each consumer re-derived its ratios from raw
+//! [`Event`](crate::stats::Event) counts (and got subtly different zero-count
+//! conventions). Now there is exactly one definition per quantity, keyed by
+//! [`Metric`]:
+//!
+//! | metric                  | definition                                             |
+//! |-------------------------|--------------------------------------------------------|
+//! | `Accesses`              | reads + writes                                         |
+//! | `OptSameState`          | same-state optimistic accesses                         |
+//! | `OptConflicting`        | conflicting optimistic transitions (expl + impl)       |
+//! | `PessUncontended`       | uncontended pessimistic transitions (CAS + reentrant)  |
+//! | `PessReentrantPct`      | 100 · reentrant / uncontended (0 if none)              |
+//! | `PessContended`         | contended pessimistic transitions                      |
+//! | `OptToPess`             | optimistic → pessimistic state changes                 |
+//! | `PessToOpt`             | pessimistic → optimistic state changes                 |
+//! | `ExplicitConflictRate`  | explicit conflicts / accesses (0 if none)              |
+//! | `BatchOccupancy`        | batched requests / responding safe points (0 if none)  |
+//! | `FanoutWidth`           | fan-out peers / fan-outs (0 if none)                   |
+//! | `*P50/P90/P99/MaxNs`    | latency percentiles (ns) from the log2 histograms      |
+//!
+//! Every metric evaluates to `f64` (counts are exact until 2⁵³, far beyond
+//! any run here); the zero-denominator convention is always `0.0`.
+
+use serde::{Deserialize, Serialize};
+
+use super::{Event, LatencyKind, StatsReport};
+
+/// One derived quantity; see the module table. `eval` is total: it never
+/// divides by zero and never panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Metric {
+    Accesses,
+    OptSameState,
+    OptConflicting,
+    PessUncontended,
+    PessReentrantPct,
+    PessContended,
+    OptToPess,
+    PessToOpt,
+    ExplicitConflictRate,
+    BatchOccupancy,
+    FanoutWidth,
+    CoordRoundtripP50,
+    CoordRoundtripP90,
+    CoordRoundtripP99,
+    CoordRoundtripMaxNs,
+    FanoutCompleteP50,
+    FanoutCompleteP90,
+    FanoutCompleteP99,
+    FanoutCompleteMaxNs,
+    MonitorAcquireP50,
+    MonitorAcquireP90,
+    MonitorAcquireP99,
+    MonitorAcquireMaxNs,
+}
+
+impl Metric {
+    /// Every metric, in declaration order (for table printers).
+    pub const ALL: [Metric; 23] = [
+        Metric::Accesses,
+        Metric::OptSameState,
+        Metric::OptConflicting,
+        Metric::PessUncontended,
+        Metric::PessReentrantPct,
+        Metric::PessContended,
+        Metric::OptToPess,
+        Metric::PessToOpt,
+        Metric::ExplicitConflictRate,
+        Metric::BatchOccupancy,
+        Metric::FanoutWidth,
+        Metric::CoordRoundtripP50,
+        Metric::CoordRoundtripP90,
+        Metric::CoordRoundtripP99,
+        Metric::CoordRoundtripMaxNs,
+        Metric::FanoutCompleteP50,
+        Metric::FanoutCompleteP90,
+        Metric::FanoutCompleteP99,
+        Metric::FanoutCompleteMaxNs,
+        Metric::MonitorAcquireP50,
+        Metric::MonitorAcquireP90,
+        Metric::MonitorAcquireP99,
+        Metric::MonitorAcquireMaxNs,
+    ];
+
+    /// Stable snake_case name for reports and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Accesses => "accesses",
+            Metric::OptSameState => "opt_same_state",
+            Metric::OptConflicting => "opt_conflicting",
+            Metric::PessUncontended => "pess_uncontended",
+            Metric::PessReentrantPct => "pess_reentrant_pct",
+            Metric::PessContended => "pess_contended",
+            Metric::OptToPess => "opt_to_pess",
+            Metric::PessToOpt => "pess_to_opt",
+            Metric::ExplicitConflictRate => "explicit_conflict_rate",
+            Metric::BatchOccupancy => "batch_occupancy",
+            Metric::FanoutWidth => "fanout_width",
+            Metric::CoordRoundtripP50 => "coord_roundtrip_p50_ns",
+            Metric::CoordRoundtripP90 => "coord_roundtrip_p90_ns",
+            Metric::CoordRoundtripP99 => "coord_roundtrip_p99_ns",
+            Metric::CoordRoundtripMaxNs => "coord_roundtrip_max_ns",
+            Metric::FanoutCompleteP50 => "fanout_complete_p50_ns",
+            Metric::FanoutCompleteP90 => "fanout_complete_p90_ns",
+            Metric::FanoutCompleteP99 => "fanout_complete_p99_ns",
+            Metric::FanoutCompleteMaxNs => "fanout_complete_max_ns",
+            Metric::MonitorAcquireP50 => "monitor_acquire_p50_ns",
+            Metric::MonitorAcquireP90 => "monitor_acquire_p90_ns",
+            Metric::MonitorAcquireP99 => "monitor_acquire_p99_ns",
+            Metric::MonitorAcquireMaxNs => "monitor_acquire_max_ns",
+        }
+    }
+
+    /// Evaluate against a report.
+    pub fn eval(self, r: &StatsReport) -> f64 {
+        fn ratio(num: u64, den: u64) -> f64 {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        }
+        let pct = |kind: LatencyKind, p: f64| r.latency(kind).percentile(p) as f64;
+        match self {
+            Metric::Accesses => r.accesses() as f64,
+            Metric::OptSameState => r.opt_same_state() as f64,
+            Metric::OptConflicting => r.opt_conflicting() as f64,
+            Metric::PessUncontended => r.pess_uncontended() as f64,
+            Metric::PessReentrantPct => {
+                100.0 * ratio(r.get(Event::PessReentrant), r.pess_uncontended())
+            }
+            Metric::PessContended => r.pess_contended() as f64,
+            Metric::OptToPess => r.opt_to_pess() as f64,
+            Metric::PessToOpt => r.pess_to_opt() as f64,
+            Metric::ExplicitConflictRate => {
+                ratio(r.get(Event::OptConflictExplicit), r.accesses())
+            }
+            Metric::BatchOccupancy => {
+                ratio(r.get(Event::CoordBatchRequests), r.get(Event::RespondedExplicit))
+            }
+            Metric::FanoutWidth => {
+                ratio(r.get(Event::CoordFanoutPeers), r.get(Event::CoordFanout))
+            }
+            Metric::CoordRoundtripP50 => pct(LatencyKind::CoordRoundtrip, 50.0),
+            Metric::CoordRoundtripP90 => pct(LatencyKind::CoordRoundtrip, 90.0),
+            Metric::CoordRoundtripP99 => pct(LatencyKind::CoordRoundtrip, 99.0),
+            Metric::CoordRoundtripMaxNs => r.latency(LatencyKind::CoordRoundtrip).max() as f64,
+            Metric::FanoutCompleteP50 => pct(LatencyKind::FanoutComplete, 50.0),
+            Metric::FanoutCompleteP90 => pct(LatencyKind::FanoutComplete, 90.0),
+            Metric::FanoutCompleteP99 => pct(LatencyKind::FanoutComplete, 99.0),
+            Metric::FanoutCompleteMaxNs => r.latency(LatencyKind::FanoutComplete).max() as f64,
+            Metric::MonitorAcquireP50 => pct(LatencyKind::MonitorAcquire, 50.0),
+            Metric::MonitorAcquireP90 => pct(LatencyKind::MonitorAcquire, 90.0),
+            Metric::MonitorAcquireP99 => pct(LatencyKind::MonitorAcquire, 99.0),
+            Metric::MonitorAcquireMaxNs => r.latency(LatencyKind::MonitorAcquire).max() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{GlobalStats, LocalStats};
+
+    fn sample_report() -> StatsReport {
+        let g = GlobalStats::new();
+        let mut l = LocalStats::new();
+        l.add(Event::Read, 80);
+        l.add(Event::Write, 20);
+        l.add(Event::OptConflictExplicit, 5);
+        l.add(Event::OptConflictImplicit, 3);
+        l.add(Event::PessUncontended, 6);
+        l.add(Event::PessReentrant, 2);
+        l.add(Event::CoordFanout, 2);
+        l.add(Event::CoordFanoutPeers, 6);
+        l.add(Event::RespondedExplicit, 4);
+        l.add(Event::CoordBatchRequests, 8);
+        l.merge_into(&g);
+        g.record_latency(LatencyKind::CoordRoundtrip, 1000);
+        g.record_latency(LatencyKind::CoordRoundtrip, 3000);
+        g.report()
+    }
+
+    #[test]
+    fn ratios_match_the_wrapper_methods() {
+        let r = sample_report();
+        assert_eq!(Metric::Accesses.eval(&r), 100.0);
+        assert_eq!(Metric::ExplicitConflictRate.eval(&r), r.explicit_conflict_rate());
+        assert_eq!(Metric::BatchOccupancy.eval(&r), r.batch_occupancy());
+        assert_eq!(Metric::FanoutWidth.eval(&r), r.fanout_width());
+        assert_eq!(Metric::PessReentrantPct.eval(&r), r.pess_reentrant_pct());
+        assert_eq!(Metric::ExplicitConflictRate.eval(&r), 0.05);
+        assert_eq!(Metric::BatchOccupancy.eval(&r), 2.0);
+        assert_eq!(Metric::FanoutWidth.eval(&r), 3.0);
+        assert_eq!(Metric::PessReentrantPct.eval(&r), 25.0);
+    }
+
+    #[test]
+    fn latency_metrics_read_the_histograms() {
+        let r = sample_report();
+        // Samples 1000 and 3000 ns: p50 is bucket of 1000 (= [512, 1024)),
+        // max is exact.
+        assert_eq!(Metric::CoordRoundtripP50.eval(&r), 1023.0);
+        assert_eq!(Metric::CoordRoundtripMaxNs.eval(&r), 3000.0);
+        assert_eq!(Metric::MonitorAcquireP99.eval(&r), 0.0, "no samples -> 0");
+    }
+
+    #[test]
+    fn every_metric_is_total_on_an_empty_report() {
+        let r = GlobalStats::new().report();
+        for m in Metric::ALL {
+            assert_eq!(m.eval(&r), 0.0, "{}", m.name());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), Metric::ALL.len());
+    }
+}

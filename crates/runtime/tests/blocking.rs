@@ -11,7 +11,11 @@ use drink_runtime::{
 
 #[test]
 fn blocking_helper_reports_implicit_coordination() {
-    let rt = Runtime::new(RuntimeConfig::sized(2, 4, 1));
+    let rt = Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build());
     let t0 = rt.register_thread();
     let t1 = rt.register_thread();
 
@@ -50,7 +54,11 @@ fn blocking_helper_reports_implicit_coordination() {
 #[test]
 fn notify_all_wakes_a_herd_of_waiters() {
     const WAITERS: usize = 5;
-    let rt = Runtime::new(RuntimeConfig::sized(WAITERS + 1, 4, 1));
+    let rt = Runtime::new(RuntimeConfig::builder()
+        .max_threads(WAITERS + 1)
+        .heap_objects(4)
+        .monitors(1)
+        .build());
     let m = MonitorId(0);
     let flag = AtomicU64::new(0);
     let woke = AtomicU64::new(0);
@@ -87,7 +95,11 @@ fn notify_all_wakes_a_herd_of_waiters() {
 fn monitor_spin_iters_zero_parks_immediately() {
     // With a zero spin budget, a contended acquire must still succeed (it
     // parks right away and is woken by the release).
-    let mut cfg = RuntimeConfig::sized(2, 4, 1);
+    let mut cfg = RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build();
     cfg.monitor_spin_iters = 0;
     let rt = Runtime::new(cfg);
     let m = MonitorId(0);
@@ -110,7 +122,11 @@ fn monitor_spin_iters_zero_parks_immediately() {
 
 #[test]
 fn reentrant_wait_preserves_recursion_depth() {
-    let rt = Runtime::new(RuntimeConfig::sized(2, 4, 1));
+    let rt = Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build());
     let m = MonitorId(0);
     let flag = AtomicU64::new(0);
 
@@ -143,7 +159,11 @@ fn reentrant_wait_preserves_recursion_depth() {
 
 #[test]
 fn spin_budget_configuration_reaches_spinners() {
-    let mut cfg = RuntimeConfig::sized(1, 1, 1);
+    let mut cfg = RuntimeConfig::builder()
+        .max_threads(1)
+        .heap_objects(1)
+        .monitors(1)
+        .build();
     cfg.spin_budget = Duration::from_millis(25);
     let rt = Runtime::new(cfg);
     let mut spinner = rt.spinner("configured budget");

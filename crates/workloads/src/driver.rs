@@ -60,11 +60,14 @@ impl RunResult {
 /// config — or register [`drink_runtime::SchedHooks`] before sharing the
 /// runtime — build on this instead of [`runtime_for`]).
 pub fn runtime_config_for(spec: &WorkloadSpec) -> RuntimeConfig {
-    let mut cfg = RuntimeConfig::sized(spec.threads, spec.heap_objects(), spec.monitors.max(1));
+    let mut builder = RuntimeConfig::builder()
+        .max_threads(spec.threads)
+        .heap_objects(spec.heap_objects())
+        .monitors(spec.monitors.max(1));
     if let Some(spin) = spec.monitor_spin {
-        cfg.monitor_spin_iters = spin;
+        builder = builder.monitor_spin_iters(spin);
     }
-    cfg
+    builder.build()
 }
 
 /// Build a runtime sized for `spec`.

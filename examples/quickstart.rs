@@ -11,7 +11,11 @@ use drink_runtime::{Event, MonitorId, ObjId, Runtime, RuntimeConfig};
 
 fn main() {
     // A runtime: 4 mutator slots, 64 tracked objects, 2 program monitors.
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(4, 64, 2)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(4)
+        .heap_objects(64)
+        .monitors(2)
+        .build()));
 
     // The paper's hybrid tracking with its default adaptive policy
     // (Cutoff_confl = 4, K_confl = 200, Inertia = 100).

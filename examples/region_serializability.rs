@@ -13,7 +13,11 @@ const THREADS: usize = 4;
 const TRANSFERS: usize = 20_000;
 
 fn main() {
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(THREADS, ACCOUNTS, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(THREADS)
+        .heap_objects(ACCOUNTS)
+        .monitors(1)
+        .build()));
     let enforcer = RsEnforcer::hybrid(rt);
 
     // Seed the bank.

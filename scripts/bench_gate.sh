@@ -43,7 +43,10 @@ run_and_compare() {
     mv "$tmp" "$out"
 }
 
-run_and_compare hotpath "$HOTPATH_OUT"
+# The tracing-on row is advisory: ring-buffer stores on the hot path are an
+# expected, opt-in cost (DESIGN.md §11). The tracing-off row stays gated —
+# it is the evidence the disabled trace valve costs one predicted branch.
+run_and_compare hotpath "$HOTPATH_OUT" --advisory trace_on_
 # The always-optimistic rows are advisory: under RdSh contention on a
 # shared host their wall time is scheduling-bimodal (DESIGN.md §10).
 run_and_compare contention "$CONTENTION_OUT" --advisory opt_access_

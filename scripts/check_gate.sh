@@ -46,6 +46,17 @@ if [ -z "$artifact" ]; then
   exit 1
 fi
 
+if ! grep -q '"events"' "$artifact"; then
+  echo "check_gate: FAIL — canary artifact has no embedded event timelines" >&2
+  exit 1
+fi
+
+echo "=== check_gate: trace export / ingest round trip"
+cargo build --release -p drink-bench --bin trace
+TRACE_OUT="$ARTIFACTS/canary-trace.json"
+./target/release/trace --workload chaos_mix --seed 7 --out "$TRACE_OUT" >/dev/null
+./target/release/trace --check "$TRACE_OUT"
+
 echo "=== check_gate: reproduce canary artifact ($artifact)"
 if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-flush-before-block \
     "$SMOKE" --reproduce "$artifact"; then

@@ -56,7 +56,11 @@ fn run_producer_consumer<T: Tracker + Sync>(engine: &T, items: u64) -> u64 {
 #[test]
 fn producer_consumer_under_hybrid_tracking() {
     const ITEMS: u64 = 500;
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let engine = HybridEngine::new(rt);
     let sum = run_producer_consumer(&engine, ITEMS);
     assert_eq!(sum, 7 * ITEMS * (ITEMS + 1) / 2, "every item exactly once");
@@ -70,7 +74,11 @@ fn producer_consumer_under_hybrid_tracking() {
 #[test]
 fn producer_consumer_under_optimistic_tracking() {
     const ITEMS: u64 = 300;
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let engine = OptimisticEngine::new(rt);
     let sum = run_producer_consumer(&engine, ITEMS);
     assert_eq!(sum, 7 * ITEMS * (ITEMS + 1) / 2);
@@ -83,7 +91,11 @@ fn producer_consumer_under_optimistic_tracking() {
 #[test]
 fn producer_consumer_under_pessimistic_tracking() {
     const ITEMS: u64 = 300;
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let engine = PessimisticEngine::new(rt);
     let sum = run_producer_consumer(&engine, ITEMS);
     assert_eq!(sum, 7 * ITEMS * (ITEMS + 1) / 2);
@@ -96,7 +108,11 @@ fn recorded_waits_replay_via_sync_edges() {
     use drink_replay::{Recorder, ReplayEngine};
     const ITEMS: u64 = 200;
 
-    let rt = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let recorder = Recorder::for_runtime(&rt, "hybrid");
     let engine = HybridEngine::with_config(
         rt,
@@ -108,7 +124,11 @@ fn recorded_waits_replay_via_sync_edges() {
     let log = recorder.into_log();
     log.validate().unwrap();
 
-    let rt2 = Arc::new(Runtime::new(RuntimeConfig::sized(2, 4, 1)));
+    let rt2 = Arc::new(Runtime::new(RuntimeConfig::builder()
+        .max_threads(2)
+        .heap_objects(4)
+        .monitors(1)
+        .build()));
     let replayer = ReplayEngine::new(rt2, log);
     let sum2 = run_producer_consumer(&replayer, ITEMS);
     assert_eq!(sum, sum2, "replayed consumption must match");
