@@ -6,10 +6,13 @@
 //! bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]...
 //! ```
 //!
-//! Rows are matched by name. A row present only on one side is reported but
-//! never fails the gate (new benches land before their baseline; retired
-//! rows disappear from fresh reports). Rows matching an `--advisory` name
-//! prefix are compared and reported but never fail the gate either — for
+//! Rows are matched by name. A fresh-only row is reported but never fails
+//! the gate (new benches land before their baseline). A *baseline-only* row
+//! is a hard usage error (exit 2): the bench suite silently shrank, and a
+//! gate that skips vanished measurements is blind — retiring a row requires
+//! regenerating the baseline in the same commit. Rows matching an
+//! `--advisory` name prefix are compared and reported but never fail the
+//! gate — for
 //! measurements whose run-to-run distribution is known-bimodal on a shared
 //! host (see DESIGN.md §10 on the always-optimistic contention rows).
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
@@ -90,10 +93,18 @@ fn main() {
             None => println!("{:<28} new row (no baseline)", row.name),
         }
     }
-    for b in &base.rows {
-        if !fresh.rows.iter().any(|r| r.name == b.name) {
-            println!("{:<28} retired (baseline only)", b.name);
+    let missing = base.missing_rows(&fresh);
+    if !missing.is_empty() {
+        for name in &missing {
+            eprintln!("{name:<28} MISSING from fresh report");
         }
+        eprintln!(
+            "bench_compare: fresh report is missing {} baseline row(s) — the bench \
+             suite shrank; retiring a row requires regenerating the baseline in the \
+             same commit",
+            missing.len()
+        );
+        std::process::exit(2);
     }
 
     if regressions > 0 {

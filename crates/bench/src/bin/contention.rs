@@ -30,8 +30,9 @@ use std::time::Instant;
 use drink_bench::report::{Report, Row};
 use drink_bench::{scale_from_args, trials_from_args};
 use drink_core::coord::{coordinate_all_seq, coordinate_many, PendingPeer};
-use drink_runtime::{Runtime, RuntimeConfig, Spin, ThreadId};
-use drink_workloads::{chaos_rdsh, run_kind, EngineKind, WorkloadSpec};
+use drink_runtime::stats::derived::Metric;
+use drink_runtime::{Event, Runtime, RuntimeConfig, Spin, ThreadId};
+use drink_workloads::{chaos_rdsh, chaos_read_mostly, run_kind, EngineKind, WorkloadSpec};
 
 /// Thread widths the paper's scalability plots use at the low end; 8 is the
 /// acceptance width for the fan-out-vs-sequential comparison.
@@ -133,14 +134,79 @@ fn engine_throughput(rows: &mut Vec<Row>, scale: f64, trials: usize) {
         ] {
             let mut best = std::time::Duration::MAX;
             let mut accesses = 1u64;
+            let mut fanout_p = (0.0f64, 0.0f64, 0u64);
             for _ in 0..trials {
                 let r = run_kind(kind, &spec);
                 accesses = r.report.accesses().max(1);
-                best = best.min(r.wall);
+                if r.wall < best {
+                    best = r.wall;
+                    fanout_p = (
+                        Metric::FanoutCompleteP50.eval(&r.report),
+                        Metric::FanoutCompleteP99.eval(&r.report),
+                        r.report.get(Event::CoordFanout),
+                    );
+                }
             }
             let ns = best.as_nanos() as f64 / accesses as f64;
             push_row(rows, format!("{tag}_access_t{n}"), accesses, ns);
+            // Diagnostic only (not a gated row): where the wall time went.
+            // On a loaded/single-core host the all-peer explicit roundtrips
+            // are scheduler-quantum-bound, which is what makes the
+            // `opt_access_*` rows bimodal across runs (DESIGN.md §10).
+            println!(
+                "  {tag}_access_t{n}: {} fan-outs, complete p50={:.0}ns p99={:.0}ns",
+                fanout_p.2, fanout_p.0, fanout_p.1
+            );
         }
+    }
+}
+
+/// Read-dominant variant of `chaosReadMostly`: no locks, no races, 90% of
+/// steps read the standing RdSh region, the rest touch thread-private
+/// objects. Under the seqlock read protocol (DESIGN.md §12) every RdSh read
+/// must complete with no state transition and **no coordination at all** —
+/// asserted per trial via the `CoordFanout` counter, making the row itself
+/// the tentpole's zero-fan-out acceptance check.
+fn read_mostly_spec(threads: usize, steps: usize) -> WorkloadSpec {
+    let mut spec = chaos_read_mostly(0xD0_17EA);
+    spec.name = format!("readMostly{threads}");
+    spec.threads = threads;
+    spec.steps_per_thread = steps;
+    spec.locked_frac = 0.0;
+    spec.racy_frac = 0.0;
+    spec.shared_read_frac = 0.9;
+    spec.local_work = 0;
+    spec.cs_work = 0;
+    spec.monitor_spin = None;
+    spec
+}
+
+/// Read-mostly RdSh throughput on the hybrid engine: ns per tracked access
+/// with the seqlock path serving ~90% of accesses. The pre-seqlock cost of
+/// this shape was a coordination fan-out per first-read (~µs); the target
+/// band is single-digit ns.
+fn read_mostly_throughput(rows: &mut Vec<Row>, scale: f64, trials: usize) {
+    let steps = ((20_000.0 * scale) as usize).max(500);
+    for n in WIDTHS {
+        let spec = read_mostly_spec(n, steps);
+        let mut best = std::time::Duration::MAX;
+        let mut accesses = 1u64;
+        for _ in 0..trials {
+            let r = run_kind(EngineKind::Hybrid, &spec);
+            assert_eq!(
+                r.report.get(Event::CoordFanout),
+                0,
+                "read-mostly RdSh reads must never coordinate (seqlock path dead?)"
+            );
+            assert!(
+                r.report.validated_reads() > 0,
+                "read-mostly spec validated no seqlock reads"
+            );
+            accesses = r.report.accesses().max(1);
+            best = best.min(r.wall);
+        }
+        let ns = best.as_nanos() as f64 / accesses as f64;
+        push_row(rows, format!("rdsh_read_mostly_{n}"), accesses, ns);
     }
 }
 
@@ -164,6 +230,7 @@ fn main() {
         raw_all_peer(&mut rows, n, iters, trials, false);
     }
     engine_throughput(&mut rows, scale, trials);
+    read_mostly_throughput(&mut rows, scale, trials);
 
     let mut report = Report::new("drink-bench/contention");
     report.rows = rows;

@@ -84,6 +84,19 @@ impl Report {
         let json = serde_json::to_string_pretty(self).map_err(|e| format!("{path}: {e}"))?;
         std::fs::write(path, json + "\n").map_err(|e| format!("{path}: {e}"))
     }
+
+    /// Names of rows present in `self` (the baseline) but absent from
+    /// `fresh`. A fresh report missing baseline rows means the bench binary
+    /// silently stopped measuring something the gate guards — `bench_compare`
+    /// treats that as a usage error (exit 2), never a pass; retiring a row
+    /// requires regenerating the baseline in the same commit.
+    pub fn missing_rows<'a>(&'a self, fresh: &Report) -> Vec<&'a str> {
+        self.rows
+            .iter()
+            .filter(|b| !fresh.rows.iter().any(|r| r.name == b.name))
+            .map(|b| b.name.as_str())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +120,21 @@ mod tests {
         let json = serde_json::to_string_pretty(&r).unwrap();
         let err = Report::parse(&json).unwrap_err();
         assert!(err.contains("schema_version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn missing_rows_names_baseline_only_rows() {
+        let mut base = Report::new("drink-bench/test");
+        base.push("kept".into(), 10, 1.0);
+        base.push("dropped_a".into(), 10, 2.0);
+        base.push("dropped_b".into(), 10, 3.0);
+        let mut fresh = Report::new("drink-bench/test");
+        fresh.push("kept".into(), 10, 1.1);
+        fresh.push("brand_new".into(), 10, 0.5); // fresh-only rows are fine
+        assert_eq!(base.missing_rows(&fresh), vec!["dropped_a", "dropped_b"]);
+        // Asymmetric: fresh-only rows count as missing only from base's view.
+        assert_eq!(fresh.missing_rows(&base), vec!["brand_new"]);
+        assert!(base.missing_rows(&base).is_empty());
     }
 
     #[test]

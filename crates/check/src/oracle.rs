@@ -141,6 +141,84 @@ pub fn differential_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureA
     Ok(())
 }
 
+/// The seqlock read-path oracle (DESIGN.md §12), meant for read-mostly RdSh
+/// specs such as [`drink_workloads::chaos_read_mostly`]. Every matrix engine
+/// runs tracking-only (`NullSupport`), so each must actually exercise the
+/// coordination-free path:
+///
+/// * **engine agreement** — access counts match across the matrix (a
+///   seqlock-validated read is still exactly one tracked access);
+/// * **the path is live** — `validated_reads > 0` in every cell: a
+///   read-mostly spec that never validates means the gate or the version
+///   protocol regressed to always-fallback;
+/// * **fallback shape** — a seqlock fallback re-enters the ordinary
+///   coordinated read path, so it must not distort fan-out accounting: in a
+///   run with fallbacks, the mean fan-out width stays what the all-peer
+///   protocol dictates (≥ 1 peer, ≤ threads − 1), unchanged by how many
+///   reads arrived via the fallback arm rather than directly.
+pub fn read_mostly_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureArtifact> {
+    let mut accesses: Option<(EngineKind, u64)> = None;
+    for kind in MATRIX_ENGINES {
+        let cell = harness::run_cell(kind, spec, seed)?;
+        let r = &cell.run.report;
+        let fail = |failure: String, traces| FailureArtifact {
+            seed,
+            engine: kind.label().to_string(),
+            spec: spec.clone(),
+            failure,
+            traces,
+            events: Vec::new(),
+        };
+
+        let a = r.accesses();
+        match accesses {
+            None => accesses = Some((kind, a)),
+            Some((k0, a0)) if a0 != a => {
+                return Err(fail(
+                    format!(
+                        "access counts diverge: {} performed {a0}, {} performed {a}",
+                        k0.label(),
+                        kind.label()
+                    ),
+                    cell.traces,
+                ));
+            }
+            Some(_) => {}
+        }
+
+        if r.validated_reads() == 0 {
+            return Err(fail(
+                format!(
+                    "{} validated no seqlock reads on a read-mostly spec \
+                     (retries={}, fallbacks={}) — fast path dead",
+                    kind.label(),
+                    r.get(Event::SeqlockRetry),
+                    r.get(Event::SeqlockFallback),
+                ),
+                cell.traces,
+            ));
+        }
+
+        if r.get(Event::SeqlockFallback) > 0 && r.get(Event::CoordFanout) > 0 {
+            let width = r.fanout_width();
+            let peers = (spec.threads - 1) as f64;
+            if !(1.0..=peers).contains(&width) {
+                return Err(fail(
+                    format!(
+                        "{} fan-out width {width:.2} outside [1, {peers}] with {} \
+                         seqlock fallbacks in flight — fallback path distorted \
+                         coordination accounting",
+                        kind.label(),
+                        r.get(Event::SeqlockFallback),
+                    ),
+                    cell.traces,
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 fn first_heap_divergence(a: &[u64], b: &[u64]) -> String {
     if a.len() != b.len() {
         return format!("lengths {} vs {}", a.len(), b.len());
@@ -247,7 +325,7 @@ pub fn rs_check(spec: &WorkloadSpec, seed: u64) -> Result<(), String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh};
+    use drink_workloads::{chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh, chaos_read_mostly};
 
     #[test]
     fn differential_holds_on_disjoint_spec() {
@@ -300,6 +378,16 @@ mod tests {
                 "batch occupancy {} < 1",
                 report.batch_occupancy()
             );
+        }
+    }
+
+    /// The seqlock oracle on its intended spec: every engine validates
+    /// reads, counts agree, fallback keeps fan-out accounting sane.
+    #[test]
+    fn read_mostly_oracle_holds_under_chaos() {
+        for seed in [0x71u64, 0x72] {
+            read_mostly_check(&chaos_read_mostly(seed), seed)
+                .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
         }
     }
 

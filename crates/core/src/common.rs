@@ -17,17 +17,24 @@
 //! Engines that have no pessimistic states (optimistic, pessimistic-alone)
 //! still share this code: their lock buffers are simply always empty.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{fence, Ordering};
 use std::sync::Arc;
 
 use drink_runtime::{
-    Event, MonitorId, ObjId, RtHooks, Runtime, SchedPoint, ThreadId, TraceKind,
+    Event, LatencyKind, MonitorId, ObjHeader, ObjId, RtHooks, Runtime, SchedPoint, ThreadId,
+    TraceKind,
 };
 
 use crate::policy::AdaptivePolicy;
 use crate::support::{Support, SupportCx};
 use crate::tstate::{OwnedByThread, ThreadState};
-use crate::word::StateWord;
+use crate::word::{Kind, StateWord, VersionWord};
+
+/// Seqlock revalidation failures tolerated before a read gives up and takes
+/// the engine's coordinated path. Retrying once or twice rides out a single
+/// in-flight install; under a genuine write burst the coordinated path is
+/// the right place to be anyway.
+const SEQLOCK_MAX_RETRIES: u64 = 2;
 
 /// Protocol-independent engine state shared by all tracking engines.
 pub struct EngineCommon<S: Support> {
@@ -192,6 +199,7 @@ impl<S: Support> EngineCommon<S> {
             };
             match state.compare_exchange_weak(cur, new.0, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
+                    obj.bump_version();
                     ts.stats.bump(Event::StateUnlocked);
                     if unlocked.is_pess_unlocked() {
                         // Policy-valve decision: released to optimistic, or
@@ -287,33 +295,108 @@ impl<S: Support> EngineCommon<S> {
     /// it parks the state at `Int(t)` so the caller can run support hooks
     /// before making the final state observable via
     /// [`EngineCommon::publish`].
+    ///
+    /// Takes the whole header (not just the state word) because every
+    /// successful install must bump the object's seqlock version before the
+    /// claimant's payload access (DESIGN.md §12).
     #[inline(always)]
-    pub fn claim(
-        &self,
-        state: &std::sync::atomic::AtomicU64,
-        cur: u64,
-        t: ThreadId,
-        final_w: StateWord,
-    ) -> bool {
+    pub fn claim(&self, obj: &ObjHeader, cur: u64, t: ThreadId, final_w: StateWord) -> bool {
         let target = if S::PREPUBLISH {
             StateWord::int(t).0
         } else {
             final_w.0
         };
-        state
+        let ok = obj
+            .state()
             .compare_exchange(cur, target, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
+            .is_ok();
+        if ok {
+            obj.bump_version();
+        }
+        ok
     }
 
     /// Second half of [`EngineCommon::claim`]: publish the final state.
     #[inline(always)]
-    pub fn publish(&self, state: &std::sync::atomic::AtomicU64, final_w: StateWord) {
+    pub fn publish(&self, obj: &ObjHeader, final_w: StateWord) {
         #[cfg(feature = "check-invariants")]
         final_w
             .validate()
             .unwrap_or_else(|e| panic!("publishing ill-formed state word {final_w:?} — {e}"));
         if S::PREPUBLISH {
-            state.store(final_w.0, Ordering::Release);
+            obj.state().store(final_w.0, Ordering::Release);
+            obj.bump_version();
+        }
+    }
+
+    /// The coordination-free read protocol for read-mostly RdSh objects
+    /// (DESIGN.md §12). The caller has just decoded `o`'s state word as
+    /// `RdSh` and decided (via [`AdaptivePolicy::read_mostly`]) that the
+    /// object is read-mostly; this attempts the read with **no state
+    /// transition**:
+    ///
+    /// 1. load the version word (acquire) — `v0`;
+    /// 2. re-load the state word (acquire); anything other than `RdSh`
+    ///    means a writer is in flight — give up immediately;
+    /// 3. load the payload;
+    /// 4. acquire fence, then re-load the version — `v1`;
+    /// 5. `v0 == v1` validates: no install overlapped the window, so the
+    ///    payload is exactly what a coordinated RdSh read would have
+    ///    returned, and the standing RdSh epoch already covers the
+    ///    dependence. Otherwise retry, falling back to the engine's
+    ///    coordinated path (`None`) after [`SEQLOCK_MAX_RETRIES`] failures.
+    ///
+    /// The acquire load of the `RdSh` state word synchronizes with the
+    /// epoch creator's release install, so pre-epoch writes are visible
+    /// without the fence transition's global fence; `ts.rd_sh_count` is
+    /// deliberately **not** updated (this path makes no claim about other
+    /// objects' epochs).
+    pub fn seqlock_read(&self, ts: &mut ThreadState, o: ObjId) -> Option<u64> {
+        let obj = self.rt.obj(o);
+        let mut retries = 0u64;
+        loop {
+            let v0 = VersionWord(obj.version().load(Ordering::Acquire));
+            // Liveness invariant: alloc-init is an install and bumps, so a
+            // live object's version is never 0 (modulo a full u64 wrap —
+            // unreachable in any real run). A zero here means installs are
+            // not bumping, which is exactly what the `skip-version-bump`
+            // injected bug does; the chaos matrix relies on this check to
+            // catch it deterministically.
+            #[cfg(feature = "check-invariants")]
+            assert!(
+                v0.0 != 0,
+                "seqlock read of {o:?}: version word never bumped — \
+                 state-word installs are not advancing the version counter"
+            );
+            let w = StateWord(obj.state().load(Ordering::Acquire));
+            if w.kind() != Kind::RdSh {
+                // A writer claimed the object (or it left RdSh) between the
+                // caller's decode and ours: coordinated path.
+                if retries > 0 {
+                    self.rt.stats().record_latency(LatencyKind::SeqlockRetries, retries);
+                }
+                return None;
+            }
+            let value = obj.data_read();
+            self.rt.sched_point(ts.tid, SchedPoint::SeqlockReadValidate);
+            fence(Ordering::Acquire);
+            let v1 = VersionWord(obj.version().load(Ordering::Relaxed));
+            if v0.validates(v1) {
+                ts.stats.bump(Event::SeqlockValidated);
+                if retries > 0 {
+                    self.rt.stats().record_latency(LatencyKind::SeqlockRetries, retries);
+                }
+                self.rt.trace(ts.tid, TraceKind::SeqlockRead, o.0 as u64);
+                return Some(value);
+            }
+            ts.stats.bump(Event::SeqlockRetry);
+            retries += 1;
+            if retries > SEQLOCK_MAX_RETRIES {
+                ts.stats.bump(Event::SeqlockFallback);
+                self.rt.stats().record_latency(LatencyKind::SeqlockRetries, retries);
+                self.rt.trace(ts.tid, TraceKind::SeqlockFallback, o.0 as u64);
+                return None;
+            }
         }
     }
 

@@ -139,6 +139,12 @@ pub fn coordinate_all_seq(
             CoordMode::Mixed => unreachable!("coordinate_one never returns Mixed"),
         }
     }
+    // Coordination-induced state change: the requester will install the new
+    // state next, but bump here too so a seqlock reader that raced the whole
+    // fan-out cannot validate across it (DESIGN.md §12).
+    if let Some(o) = obj {
+        rt.obj(o).bump_version();
+    }
     rt.stats().record_latency(LatencyKind::FanoutComplete, t0.elapsed().as_nanos() as u64);
     rt.trace(me, TraceKind::FanoutComplete, (sources.len() - before) as u64);
     combine_modes(any_explicit, any_implicit)
@@ -265,6 +271,11 @@ pub fn coordinate_many(
             respond_self();
             spin.spin();
         }
+    }
+    // Same completion bump as the sequential protocol: no seqlock read may
+    // validate across a coordination window (DESIGN.md §12).
+    if let Some(o) = obj {
+        rt.obj(o).bump_version();
     }
     rt.stats().record_latency(LatencyKind::FanoutComplete, t0.elapsed().as_nanos() as u64);
     rt.trace(me, TraceKind::FanoutComplete, (sources.len() - before) as u64);

@@ -272,6 +272,7 @@ impl<S: Support> HybridEngine<S> {
             let new = w.unlock_one();
             match state.compare_exchange_weak(cur, new.0, Ordering::AcqRel, Ordering::Acquire) {
                 Ok(_) => {
+                    self.common.rt.obj(o).bump_version();
                     ts.stats.bump(Event::StateUnlocked);
                     return;
                 }
@@ -328,6 +329,7 @@ impl<S: Support> HybridEngine<S> {
                         )
                         .is_ok()
                     {
+                        obj.bump_version();
                         ts.stats.bump(Event::OptUpgrading);
                         self.common.rt.trace(ts.tid, TraceKind::OptUpgrade, o.0 as u64);
                         let cx = self.common.cx(ts);
@@ -343,10 +345,12 @@ impl<S: Support> HybridEngine<S> {
                 {
                     continue;
                 }
+                obj.bump_version();
                 let mode = self.conflict_coordinate(ts, o, w);
                 if abortable && self.common.support.should_abort(t) {
                     // Yielded mid-coordination: restore and abort.
                     state.store(cur, Ordering::Release);
+                    obj.bump_version();
                     return false;
                 }
                 // Adaptive-policy decision (line 46). Only explicit
@@ -358,6 +362,7 @@ impl<S: Support> HybridEngine<S> {
                 self.finish_opt_conflict(ts, o, mode, true);
                 if to_pess {
                     state.store(StateWord::wr_ex_pess(t, LockMode::Write).0, Ordering::Release);
+                    obj.bump_version();
                     ts.push_lock(o);
                     ts.stats.bump(Event::OptToPess);
                     self.common.rt.trace(ts.tid, TraceKind::OptToPess, o.0 as u64);
@@ -366,6 +371,7 @@ impl<S: Support> HybridEngine<S> {
                     }
                 } else {
                     state.store(StateWord::wr_ex_opt(t).0, Ordering::Release);
+                    obj.bump_version();
                 }
                 return true;
             }
@@ -380,7 +386,7 @@ impl<S: Support> HybridEngine<S> {
                 let prev_owner = w.owner();
                 let was_rdsh = w.kind() == Kind::RdSh;
                 let final_w = StateWord::wr_ex_pess(t, LockMode::Write);
-                if self.common.claim(state, cur, t, final_w) {
+                if self.common.claim(obj, cur, t, final_w) {
                     let conflicting = !own;
                     if conflicting {
                         if was_rdsh {
@@ -390,7 +396,7 @@ impl<S: Support> HybridEngine<S> {
                         }
                         self.emit_pess_acquire(ts, o, true);
                     }
-                    self.common.publish(state, final_w);
+                    self.common.publish(obj, final_w);
                     ts.push_lock(o);
                     self.bump_pess(ts, o, conflicting, contended);
                     return true;
@@ -418,6 +424,7 @@ impl<S: Support> HybridEngine<S> {
                     )
                     .is_ok()
                 {
+                    obj.bump_version();
                     // Already in the lock buffer from the read-lock.
                     ts.rd_set.remove(o.0);
                     ts.stats.bump(Event::PessUncontended);
@@ -437,13 +444,13 @@ impl<S: Support> HybridEngine<S> {
                 // thread can be mid-access since pessimistic readers must
                 // lock).
                 let final_w = StateWord::wr_ex_pess(t, LockMode::Write);
-                if self.common.claim(state, cur, t, final_w) {
+                if self.common.claim(obj, cur, t, final_w) {
                     ts.rd_set.remove(o.0);
                     // Write after other threads' past reads: conservative
                     // clock edges to everyone.
                     self.read_sources_all(ts);
                     self.emit_pess_acquire(ts, o, true);
-                    self.common.publish(state, final_w);
+                    self.common.publish(obj, final_w);
                     self.bump_pess(ts, o, true, contended);
                     return true;
                 }
@@ -531,7 +538,7 @@ impl<S: Support> HybridEngine<S> {
                         // Upgrading: RdExOpt(T1) → RdShOpt(c).
                         let prev_owner = w.owner();
                         let pre = self.common.pre_epoch();
-                        if self.common.claim(state, cur, t, StateWord::rd_sh_opt(pre)) {
+                        if self.common.claim(obj, cur, t, StateWord::rd_sh_opt(pre)) {
                             let c = self.common.post_epoch(pre);
                             ts.rd_sh_count = ts.rd_sh_count.max(c);
                             ts.stats.bump(Event::OptUpgrading);
@@ -546,7 +553,7 @@ impl<S: Support> HybridEngine<S> {
                                     pess: false,
                                 },
                             );
-                            self.common.publish(state, StateWord::rd_sh_opt(c));
+                            self.common.publish(obj, StateWord::rd_sh_opt(c));
                             return;
                         }
                         continue;
@@ -564,6 +571,7 @@ impl<S: Support> HybridEngine<S> {
                         {
                             continue;
                         }
+                        obj.bump_version();
                         let mode = self.conflict_coordinate(ts, o, w);
                         let to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
                             && self.common.policy.on_explicit_conflict(obj.profile());
@@ -573,6 +581,7 @@ impl<S: Support> HybridEngine<S> {
                                 StateWord::rd_ex_pess(t, LockMode::Read).0,
                                 Ordering::Release,
                             );
+                            obj.bump_version();
                             ts.push_read_lock(o);
                             ts.stats.bump(Event::OptToPess);
                     self.common.rt.trace(ts.tid, TraceKind::OptToPess, o.0 as u64);
@@ -581,6 +590,7 @@ impl<S: Support> HybridEngine<S> {
                             }
                         } else {
                             state.store(StateWord::rd_ex_opt(t).0, Ordering::Release);
+                            obj.bump_version();
                         }
                         return;
                     }
@@ -628,6 +638,7 @@ impl<S: Support> HybridEngine<S> {
                         )
                         .is_ok()
                     {
+                        obj.bump_version();
                         ts.push_read_lock(o);
                         self.note_rdsh_read(ts, o, c);
                         self.bump_pess(ts, o, false, contended);
@@ -641,7 +652,7 @@ impl<S: Support> HybridEngine<S> {
                     let prev_owner = w.owner();
                     debug_assert_ne!(prev_owner, t, "own RLock handled above");
                     let pre = self.common.pre_epoch();
-                    if self.common.claim(state, cur, t, StateWord::rd_sh_pess(pre, 2)) {
+                    if self.common.claim(obj, cur, t, StateWord::rd_sh_pess(pre, 2)) {
                         let c = self.common.post_epoch(pre);
                         let final_w = StateWord::rd_sh_pess(c, 2);
                         ts.rd_sh_count = ts.rd_sh_count.max(c);
@@ -655,7 +666,7 @@ impl<S: Support> HybridEngine<S> {
                                 pess: true,
                             },
                         );
-                        self.common.publish(state, final_w);
+                        self.common.publish(obj, final_w);
                         ts.push_read_lock(o);
                         // A read of WrExRLock conflicts with T1's write under
                         // the cost model; of RdExRLock it does not.
@@ -702,12 +713,12 @@ impl<S: Support> HybridEngine<S> {
                     SelfReadMode::WrExWLock => StateWord::wr_ex_pess(t, LockMode::Write),
                     SelfReadMode::RdExRLockUnsound => StateWord::rd_ex_pess(t, LockMode::Read),
                 };
-                if self.common.claim(state, cur, t, target) {
+                if self.common.claim(obj, cur, t, target) {
                     let cx = self.common.cx(ts);
                     self.common
                         .support
                         .on_transition(cx, o, TransitionEv::PessLocalAcquire);
-                    self.common.publish(state, target);
+                    self.common.publish(obj, target);
                     if target.lock_mode() == LockMode::Read {
                         ts.push_read_lock(o);
                     } else {
@@ -723,10 +734,10 @@ impl<S: Support> HybridEngine<S> {
                 // happens-before edge from T1's release clock (§4.2).
                 let prev_owner = w.owner();
                 let final_w = StateWord::rd_ex_pess(t, LockMode::Read);
-                if self.common.claim(state, cur, t, final_w) {
+                if self.common.claim(obj, cur, t, final_w) {
                     self.read_source_one(ts, prev_owner);
                     self.emit_pess_acquire(ts, o, false);
-                    self.common.publish(state, final_w);
+                    self.common.publish(obj, final_w);
                     ts.push_read_lock(o);
                     self.bump_pess(ts, o, true, contended);
                     return true;
@@ -736,12 +747,12 @@ impl<S: Support> HybridEngine<S> {
             (Kind::RdEx, true) => {
                 // RdExPess(T) R by T → RdExRLock(T).
                 let final_w = StateWord::rd_ex_pess(t, LockMode::Read);
-                if self.common.claim(state, cur, t, final_w) {
+                if self.common.claim(obj, cur, t, final_w) {
                     let cx = self.common.cx(ts);
                     self.common
                         .support
                         .on_transition(cx, o, TransitionEv::PessLocalAcquire);
-                    self.common.publish(state, final_w);
+                    self.common.publish(obj, final_w);
                     ts.push_read_lock(o);
                     self.bump_pess(ts, o, false, contended);
                     return true;
@@ -752,7 +763,7 @@ impl<S: Support> HybridEngine<S> {
                 // RdExPess(T1) R by T2 → RdShRLock(1)(c_new).
                 let prev_owner = w.owner();
                 let pre = self.common.pre_epoch();
-                if self.common.claim(state, cur, t, StateWord::rd_sh_pess(pre, 1)) {
+                if self.common.claim(obj, cur, t, StateWord::rd_sh_pess(pre, 1)) {
                     let c = self.common.post_epoch(pre);
                     let final_w = StateWord::rd_sh_pess(c, 1);
                     ts.rd_sh_count = ts.rd_sh_count.max(c);
@@ -766,7 +777,7 @@ impl<S: Support> HybridEngine<S> {
                             pess: true,
                         },
                     );
-                    self.common.publish(state, final_w);
+                    self.common.publish(obj, final_w);
                     ts.push_read_lock(o);
                     self.bump_pess(ts, o, false, contended);
                     return true;
@@ -785,6 +796,7 @@ impl<S: Support> HybridEngine<S> {
                     )
                     .is_ok()
                 {
+                    obj.bump_version();
                     ts.push_read_lock(o);
                     self.note_rdsh_read(ts, o, c);
                     self.bump_pess(ts, o, false, contended);
@@ -845,6 +857,19 @@ impl<S: Support> Tracker for HybridEngine<S> {
         {
             ts.stats.bump(Event::OptSameState);
         } else {
+            // Read-mostly RdSh (§7.3 profile gate): attempt the
+            // coordination-free seqlock read (DESIGN.md §12) before taking
+            // any transition. Applies to pessimistic RdSh too — a validated
+            // window proves no conflicting install overlapped, which is what
+            // the read lock would have enforced — but the policy gate
+            // excludes objects the valve currently holds pessimistic.
+            if S::SEQLOCK_READS && w.kind() == Kind::RdSh && self.common.policy.read_mostly(obj.profile()) {
+                if let Some(v) = self.common.seqlock_read(ts, o) {
+                    self.common.rt.trace(t, TraceKind::Read, o.0 as u64);
+                    ts.op_index += 1;
+                    return v;
+                }
+            }
             self.read_slow(ts, o);
         }
         self.common.rt.trace(t, TraceKind::Read, o.0 as u64);
@@ -865,11 +890,9 @@ impl<S: Support> Tracker for HybridEngine<S> {
     fn alloc_init(&self, o: ObjId, owner: ThreadId) {
         // "Each object newly allocated by thread T starts in the WrExOpt(T)
         // state" (§6.2).
-        self.common
-            .rt
-            .obj(o)
-            .state()
-            .store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+        let obj = self.common.rt.obj(o);
+        obj.state().store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+        obj.bump_version();
     }
 
     #[inline]
@@ -1218,6 +1241,10 @@ mod tests {
             .obj(o)
             .state()
             .store(StateWord::rd_sh_pess(1, 0).0, Ordering::SeqCst);
+        // Drive the valve profile to Pess so `read_mostly` rejects the
+        // seqlock path and the read exercises the join-as-sole-locker
+        // protocol this test pins (eager_pess: one conflict flips).
+        AdaptivePolicy::new(eager_pess()).on_explicit_conflict(e.rt().obj(o).profile());
         // Read: joins as sole locker.
         let _ = e.read(t0, o);
         assert_eq!(state_of(&e, o).read_locks(), 1);

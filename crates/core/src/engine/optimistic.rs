@@ -102,6 +102,7 @@ impl<S: Support> OptimisticEngine<S> {
                     )
                     .is_ok()
                 {
+                    obj.bump_version();
                     ts.stats.bump(Event::OptUpgrading);
                         self.common.rt.trace(ts.tid, TraceKind::OptUpgrade, o.0 as u64);
                     let cx = self.common.cx(ts);
@@ -117,18 +118,21 @@ impl<S: Support> OptimisticEngine<S> {
             {
                 continue;
             }
+            obj.bump_version();
             let mode = self.conflict_coordinate(ts, o, w);
             if abortable && self.common.support.should_abort(t) {
                 // Yielded mid-coordination: restore the old state and abort
                 // (the stale coordination only made the previous owner yield,
                 // which is always safe).
                 state.store(cur, Ordering::Release);
+                obj.bump_version();
                 return false;
             }
             // Support first, then publish: recorder side-table entries must
             // be visible before any thread can observe the new state.
             self.finish_conflict(ts, o, mode, true);
             state.store(StateWord::wr_ex_opt(t).0, Ordering::Release);
+            obj.bump_version();
             return true;
         }
     }
@@ -194,7 +198,7 @@ impl<S: Support> OptimisticEngine<S> {
                     // global counter (Table 1 footnote).
                     let prev_owner = w.owner();
                     let pre = self.common.pre_epoch();
-                    if self.common.claim(state, cur, t, StateWord::rd_sh_opt(pre)) {
+                    if self.common.claim(obj, cur, t, StateWord::rd_sh_opt(pre)) {
                         let c = self.common.post_epoch(pre);
                         let final_w = StateWord::rd_sh_opt(c);
                         ts.rd_sh_count = ts.rd_sh_count.max(c);
@@ -210,7 +214,7 @@ impl<S: Support> OptimisticEngine<S> {
                                 pess: false,
                             },
                         );
-                        self.common.publish(state, final_w);
+                        self.common.publish(obj, final_w);
                         return;
                     }
                     continue;
@@ -228,9 +232,11 @@ impl<S: Support> OptimisticEngine<S> {
                     {
                         continue;
                     }
+                    obj.bump_version();
                     let mode = self.conflict_coordinate(ts, o, w);
                     self.finish_conflict(ts, o, mode, false);
                     state.store(StateWord::rd_ex_opt(t).0, Ordering::Release);
+                    obj.bump_version();
                     return;
                 }
                 Kind::Int => unreachable!("handled above"),
@@ -341,6 +347,21 @@ impl<S: Support> Tracker for OptimisticEngine<S> {
         {
             ts.stats.bump(Event::OptSameState);
         } else {
+            // Read-mostly RdSh: try the coordination-free seqlock read
+            // (DESIGN.md §12) before the slow path. Octet's ∞-cutoff policy
+            // makes `read_mostly` a pure phase check (always true), so the
+            // gate reduces to the RdSh decode.
+            if S::SEQLOCK_READS
+                && w.kind() == Kind::RdSh
+                && !w.is_pess()
+                && self.common.policy.read_mostly(obj.profile())
+            {
+                if let Some(v) = self.common.seqlock_read(ts, o) {
+                    self.common.rt.trace(t, TraceKind::Read, o.0 as u64);
+                    ts.op_index += 1;
+                    return v;
+                }
+            }
             self.read_slow(ts, o);
         }
         self.common.rt.trace(t, TraceKind::Read, o.0 as u64);
@@ -359,11 +380,9 @@ impl<S: Support> Tracker for OptimisticEngine<S> {
     }
 
     fn alloc_init(&self, o: ObjId, owner: ThreadId) {
-        self.common
-            .rt
-            .obj(o)
-            .state()
-            .store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+        let obj = self.common.rt.obj(o);
+        obj.state().store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
+        obj.bump_version();
     }
 
     #[inline]
@@ -466,12 +485,14 @@ mod tests {
         });
         let w = state_of(&e, o);
         assert_eq!(w.kind(), Kind::RdSh);
-        // t0's first read of the RdSh epoch is a fence transition.
+        // t0's first read of the RdSh epoch now takes the coordination-free
+        // seqlock path (DESIGN.md §12): validated, no fence transition.
         assert_eq!(e.read(t0, o), 42);
         e.detach(t0);
         let r = e.rt().stats().report();
         assert_eq!(r.get(Event::OptUpgrading), 1);
-        assert_eq!(r.get(Event::OptFence), 1);
+        assert_eq!(r.get(Event::SeqlockValidated), 1);
+        assert_eq!(r.get(Event::OptFence), 0);
     }
 
     #[test]

@@ -141,6 +141,16 @@ pub trait Support: Send + Sync + 'static {
     /// per-object recorder state.
     const PREPUBLISH: bool = false;
 
+    /// If true, engines may serve read-mostly RdSh reads through the
+    /// coordination-free seqlock protocol (DESIGN.md §12), which performs
+    /// **no state transition and therefore fires no support hook**. Off by
+    /// default because it is only sound for supports that don't consume
+    /// per-read events: the recorder needs the `Fence` transition to order
+    /// replayed RdSh reads, and the RS enforcer needs reads to take read
+    /// locks for its two-phase-locking argument. Tracking-only
+    /// ([`NullSupport`]) turns it on.
+    const SEQLOCK_READS: bool = false;
+
     /// A non-same-state transition of `obj` completed on thread `cx.t`.
     /// Called with the final state already decided; if
     /// [`Support::PREPUBLISH`] is set, the state word still reads `Int(T)`
@@ -202,7 +212,9 @@ pub trait Support: Send + Sync + 'static {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NullSupport;
 
-impl Support for NullSupport {}
+impl Support for NullSupport {
+    const SEQLOCK_READS: bool = true;
+}
 
 #[cfg(test)]
 mod tests {

@@ -17,6 +17,16 @@ use drink_runtime::{Event, ObjId, Runtime, RuntimeConfig, ThreadId};
 
 const O: ObjId = ObjId(0);
 
+/// Table 3 pins the *transition protocol*, so the seqlock read path — which
+/// serves read-mostly RdSh reads with no transition at all (DESIGN.md §12) —
+/// must stay off here. Any support without `SEQLOCK_READS` does that; this
+/// one is otherwise identical to [`NullSupport`]. The seqlock path itself is
+/// covered by the engines' unit tests and the chaos harness.
+struct TransitionsOnly;
+impl drink_core::support::Support for TransitionsOnly {}
+
+type Engine = HybridEngine<TransitionsOnly>;
+
 /// Policy that never moves objects between models on its own, so injected
 /// states stay put (pessimistic stays pessimistic at unlock).
 fn inert_policy() -> PolicyParams {
@@ -28,14 +38,14 @@ fn inert_policy() -> PolicyParams {
     }
 }
 
-fn engine() -> HybridEngine {
+fn engine() -> Engine {
     HybridEngine::with_config(
         Arc::new(Runtime::new(RuntimeConfig::builder()
         .max_threads(4)
         .heap_objects(8)
         .monitors(2)
         .build())),
-        NullSupport,
+        TransitionsOnly,
         HybridConfig {
             policy: inert_policy(),
             self_read: SelfReadMode::WrExRLock,
@@ -44,11 +54,11 @@ fn engine() -> HybridEngine {
     )
 }
 
-fn inject(e: &HybridEngine, w: StateWord) {
+fn inject(e: &Engine, w: StateWord) {
     e.rt().obj(O).state().store(w.0, Ordering::SeqCst);
 }
 
-fn state(e: &HybridEngine) -> StateWord {
+fn state(e: &Engine) -> StateWord {
     StateWord(e.rt().obj(O).state().load(Ordering::SeqCst))
 }
 
@@ -376,8 +386,8 @@ fn rdsh_opt_stale_read_is_a_fence_transition() {
 /// engine), then perform `access` on T0 while T1 polls, and return the final
 /// state. Asserts the expected contended count.
 fn contended_row(
-    setup: impl Fn(&HybridEngine, ThreadId) + Send + Sync,
-    access: impl Fn(&HybridEngine, ThreadId),
+    setup: impl Fn(&Engine, ThreadId) + Send + Sync,
+    access: impl Fn(&Engine, ThreadId),
     expect_contended: u64,
 ) -> StateWord {
     let e = engine();
@@ -505,7 +515,7 @@ fn prototype_self_read_mode_write_locks() {
         .heap_objects(4)
         .monitors(1)
         .build())),
-        NullSupport,
+        TransitionsOnly,
         HybridConfig {
             policy: inert_policy(),
             self_read: SelfReadMode::WrExWLock,
@@ -528,7 +538,7 @@ fn unsound_self_read_mode_downgrades() {
         .heap_objects(4)
         .monitors(1)
         .build())),
-        NullSupport,
+        TransitionsOnly,
         HybridConfig {
             policy: inert_policy(),
             self_read: SelfReadMode::RdExRLockUnsound,

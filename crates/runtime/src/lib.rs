@@ -90,6 +90,11 @@ pub enum SchedPoint {
     CoordFanoutPoll,
     /// About to publish BLOCKED at a generic blocking safe point.
     BlockedPublish,
+    /// A seqlock reader has loaded the payload and is about to revalidate
+    /// the version word (DESIGN.md §12). This is the race window of the
+    /// coordination-free read path: a writer's claim landing here must make
+    /// the revalidation fail.
+    SeqlockReadValidate,
 }
 
 /// A deterministic schedule-perturbation layer, registered on a [`Runtime`]

@@ -98,10 +98,21 @@ impl<'h> Spin<'h> {
     /// this workspace always indicates a coordination-protocol bug (or an
     /// impossibly overloaded machine).
     ///
-    /// Yields to the OS scheduler early (after 16 iterations): the protocols
-    /// in this workspace wait on *other threads'* progress, so on
-    /// oversubscribed machines (including single-core CI boxes) burning the
-    /// quantum in `spin_loop` delays exactly the thread being waited for.
+    /// Three phases. (1) Iterations 1–15: a single `spin_loop` hint — the
+    /// sub-microsecond waits that dominate. (2) Iterations 16–127: batches
+    /// of `spin_loop` hints that double every 16 iterations (capped at 64),
+    /// still with **no clock read and no syscall** — this window covers a
+    /// peer finishing its current safe-point response, which takes hundreds
+    /// of nanoseconds, not a scheduling quantum. An earlier version of this
+    /// loop called `Instant::now()` *and* `yield_now()` on every iteration
+    /// past 16; under 8-thread RdSh fan-outs (where every waiter sits right
+    /// in this window) that clock/syscall churn was the dominant cost — the
+    /// `opt_access_t8` collapse in BENCH_contention.json. (3) Iteration 128
+    /// on: yield to the OS scheduler each step — the protocols here wait on
+    /// *other threads'* progress, so a long spinner that never yielded would
+    /// starve exactly the thread being waited for on oversubscribed machines
+    /// — arming the watchdog deadline once and re-reading the clock only
+    /// every 32nd step.
     #[inline]
     pub fn spin(&mut self) {
         self.iters += 1;
@@ -112,24 +123,43 @@ impl<'h> Spin<'h> {
             core::hint::spin_loop();
             return;
         }
+        if self.iters < 128 {
+            // Batched-hint phase: 2, 2, …, 4, …, 64 hints per step.
+            let batch = 1u32 << (((self.iters - 16) / 16 + 1).min(6));
+            for _ in 0..batch {
+                core::hint::spin_loop();
+            }
+            return;
+        }
         if self.budget.is_zero() {
             // Watchdog disabled: never read the clock, but still escalate
             // from spin_loop to yielding so the waited-for thread can run.
             std::thread::yield_now();
             return;
         }
-        // Arm the watchdog lazily so that the fast path never reads the clock.
-        let now = Instant::now();
-        let deadline = *self.deadline.get_or_insert_with(|| {
-            self.started = Some(now);
-            now + self.budget
-        });
-        if now >= deadline {
-            panic!(
-                "spin watchdog expired after {:?} while waiting for: {}",
-                self.started.map(|s| now - s).unwrap_or_default(),
-                self.what
-            );
+        // Arm the watchdog on the first long-wait step; afterwards the
+        // deadline is only re-checked every 32nd step (a yield costs ~1 µs,
+        // so the check granularity is tens of microseconds — invisible next
+        // to any sane budget).
+        let deadline = match self.deadline {
+            Some(d) => d,
+            None => {
+                let now = Instant::now();
+                self.started = Some(now);
+                let d = now + self.budget;
+                self.deadline = Some(d);
+                d
+            }
+        };
+        if self.iters % 32 == 0 {
+            let now = Instant::now();
+            if now >= deadline {
+                panic!(
+                    "spin watchdog expired after {:?} while waiting for: {}",
+                    self.started.map(|s| now - s).unwrap_or_default(),
+                    self.what
+                );
+            }
         }
         std::thread::yield_now();
     }
@@ -172,6 +202,23 @@ mod tests {
         assert!(
             s.deadline.is_none() && s.started.is_none(),
             "zero budget must never touch the clock"
+        );
+    }
+
+    #[test]
+    fn hint_phases_never_touch_the_clock_or_the_scheduler() {
+        // 100 iterations stay inside phases (1)+(2): no deadline is armed,
+        // so no `Instant::now()` was ever read. This pins the fix for the
+        // opt_access_t8 pathology — short coordination waits must be pure
+        // spin hints.
+        let mut s = Spin::new("short wait");
+        for _ in 0..100 {
+            s.spin();
+        }
+        assert_eq!(s.iterations(), 100);
+        assert!(
+            s.deadline.is_none() && s.started.is_none(),
+            "hint phases must not read the clock"
         );
     }
 

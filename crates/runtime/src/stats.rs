@@ -113,11 +113,22 @@ pub enum Event {
     RegionExec,
     /// RS enforcer: a region was rolled back and restarted.
     RegionRestart,
+
+    // --- Seqlock read path (DESIGN.md §12) ---
+    /// A coordination-free RdSh read whose version revalidation succeeded:
+    /// no state transition, no fence-count update, no fan-out.
+    SeqlockValidated,
+    /// A seqlock read attempt whose revalidation failed (a writer installed
+    /// a new state word inside the read window); the read retried.
+    SeqlockRetry,
+    /// A seqlock read that exhausted its retries and fell back to the
+    /// engine's coordinated slow path.
+    SeqlockFallback,
 }
 
 impl Event {
     /// Number of event kinds (length of the counter arrays).
-    pub const COUNT: usize = Event::RegionRestart as usize + 1;
+    pub const COUNT: usize = Event::SeqlockFallback as usize + 1;
 
     /// Compile-time proof backing the unchecked indexing in
     /// [`LocalStats::bump`]: discriminants are the dense range `0..COUNT`.
@@ -161,6 +172,9 @@ impl Event {
         Event::ReplayWait,
         Event::RegionExec,
         Event::RegionRestart,
+        Event::SeqlockValidated,
+        Event::SeqlockRetry,
+        Event::SeqlockFallback,
     ];
 
     /// Stable human-readable name (used by the bench harnesses' reports).
@@ -196,6 +210,9 @@ impl Event {
             Event::ReplayWait => "replayer.wait",
             Event::RegionExec => "rs.region_exec",
             Event::RegionRestart => "rs.region_restart",
+            Event::SeqlockValidated => "seqlock.validated",
+            Event::SeqlockRetry => "seqlock.retry",
+            Event::SeqlockFallback => "seqlock.fallback",
         }
     }
 }
@@ -280,15 +297,24 @@ pub enum LatencyKind {
     FanoutComplete,
     /// Monitor acquire, fast or blocked.
     MonitorAcquire,
+    /// Validation retries a seqlock read needed before it succeeded or fell
+    /// back (recorded as a *count*, not nanoseconds — the log2 buckets work
+    /// the same way; only contested reads record, so the zero-retry common
+    /// case stays histogram-free).
+    SeqlockRetries,
 }
 
 impl LatencyKind {
     /// Number of kinds; also the length of [`LatencyKind::ALL`].
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
 
     /// Every kind, in discriminant order.
-    pub const ALL: [LatencyKind; LatencyKind::COUNT] =
-        [LatencyKind::CoordRoundtrip, LatencyKind::FanoutComplete, LatencyKind::MonitorAcquire];
+    pub const ALL: [LatencyKind; LatencyKind::COUNT] = [
+        LatencyKind::CoordRoundtrip,
+        LatencyKind::FanoutComplete,
+        LatencyKind::MonitorAcquire,
+        LatencyKind::SeqlockRetries,
+    ];
 
     /// Short dotted name, matching the [`Event`] convention.
     pub fn name(self) -> &'static str {
@@ -296,6 +322,7 @@ impl LatencyKind {
             LatencyKind::CoordRoundtrip => "latency.coord_roundtrip",
             LatencyKind::FanoutComplete => "latency.fanout_complete",
             LatencyKind::MonitorAcquire => "latency.monitor_acquire",
+            LatencyKind::SeqlockRetries => "latency.seqlock_retries",
         }
     }
 }
@@ -541,6 +568,13 @@ impl StatsReport {
     /// protocol's width).
     pub fn fanout_width(&self) -> f64 {
         derived::Metric::FanoutWidth.eval(self)
+    }
+
+    /// Coordination-free RdSh reads whose seqlock validation succeeded
+    /// (DESIGN.md §12). The chaos oracles assert this is non-zero on
+    /// read-mostly specs.
+    pub fn validated_reads(&self) -> u64 {
+        self.get(Event::SeqlockValidated)
     }
 
     /// All (event, count) pairs with non-zero counts, for printing.

@@ -93,11 +93,17 @@ pub enum TraceKind {
     MonitorRelease,
     /// Monitor wait: released, parked, reacquired (arg = monitor id).
     MonitorWait,
+    /// Coordination-free RdSh read: seqlock version validation succeeded
+    /// (arg = object id).
+    SeqlockRead,
+    /// Seqlock read exhausted its retries and fell back to the coordinated
+    /// read path (arg = object id).
+    SeqlockFallback,
 }
 
 impl TraceKind {
     /// Number of kinds; also the length of [`TraceKind::ALL`].
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 24;
 
     /// Every kind, in discriminant order (`ALL[k as usize] == k`).
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -123,6 +129,8 @@ impl TraceKind {
         TraceKind::MonitorAcquireBlocked,
         TraceKind::MonitorRelease,
         TraceKind::MonitorWait,
+        TraceKind::SeqlockRead,
+        TraceKind::SeqlockFallback,
     ];
 
     /// Short dotted name, matching the [`crate::stats::Event`] convention.
@@ -150,6 +158,8 @@ impl TraceKind {
             TraceKind::MonitorAcquireBlocked => "monitor.acquire_blocked",
             TraceKind::MonitorRelease => "monitor.release",
             TraceKind::MonitorWait => "monitor.wait",
+            TraceKind::SeqlockRead => "seqlock.read",
+            TraceKind::SeqlockFallback => "seqlock.fallback",
         }
     }
 

@@ -8,14 +8,19 @@
 #   1. Build the harness with the invariant layer compiled in
 #      (`check-invariants` is a non-default feature: the plain workspace
 #      release build — and hence the hot-path bench — never pays for it).
-#   2. Clean fixed-seed smoke matrix: 3 engines x 4 seeds x 2 workloads
-#      plus the differential / replay / RS oracles. Must pass.
-#   3. Canary: re-run the matrix with a deliberately injected protocol bug
-#      (DRINK_INJECT_BUG=skip-flush-before-block). The harness must CATCH
-#      it (nonzero exit, artifact written), and `--reproduce` on the saved
-#      artifact must fail again — proving the seed+trace actually pins the
-#      failure. A canary that passes means the harness has gone blind, and
-#      the gate fails.
+#   2. Clean fixed-seed smoke matrix: 3 engines x 4 seeds x 4 workloads
+#      plus the differential / seqlock / replay / RS oracles. Must pass.
+#   3. Canaries: re-run the matrix with a deliberately injected protocol
+#      bug. Two bugs, each its own leg:
+#        - skip-flush-before-block (lock-buffer flush dropped before a
+#          blocking safe point);
+#        - skip-version-bump (state-word installs stop advancing the
+#          per-object version counter, silently breaking the seqlock read
+#          protocol of DESIGN.md s12).
+#      The harness must CATCH each (nonzero exit, artifact written), and
+#      `--reproduce` on the saved artifact must fail again — proving the
+#      seed+trace actually pins the failure. A canary that passes means
+#      the harness has gone blind, and the gate fails.
 #
 # The canary leg tightens DRINK_SPIN_BUDGET_MS so deliberate protocol
 # wedges fail in seconds; `--fail-fast` stops at the first caught cell
@@ -51,6 +56,25 @@ if ! grep -q '"events"' "$artifact"; then
   exit 1
 fi
 
+echo "=== check_gate: injected-bug canary (skip-version-bump)"
+rm -rf "$ARTIFACTS/canary-version"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-version-bump \
+    "$SMOKE" --fail-fast --artifact-dir "$ARTIFACTS/canary-version"; then
+  echo "check_gate: FAIL — skip-version-bump was NOT caught (seqlock oracle blind)" >&2
+  exit 1
+fi
+
+version_artifact="$(ls "$ARTIFACTS"/canary-version/*.json 2>/dev/null | head -n1 || true)"
+if [ -z "$version_artifact" ]; then
+  echo "check_gate: FAIL — version canary failed but wrote no artifact" >&2
+  exit 1
+fi
+
+if ! grep -q '"events"' "$version_artifact"; then
+  echo "check_gate: FAIL — version canary artifact has no embedded event timelines" >&2
+  exit 1
+fi
+
 echo "=== check_gate: trace export / ingest round trip"
 cargo build --release -p drink-bench --bin trace
 TRACE_OUT="$ARTIFACTS/canary-trace.json"
@@ -64,4 +88,11 @@ if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-flush-before-block \
   exit 1
 fi
 
-echo "=== check_gate: OK (bug caught, artifact reproduces)"
+echo "=== check_gate: reproduce version canary artifact ($version_artifact)"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-version-bump \
+    "$SMOKE" --reproduce "$version_artifact"; then
+  echo "check_gate: FAIL — version canary artifact did not reproduce" >&2
+  exit 1
+fi
+
+echo "=== check_gate: OK (both bugs caught, artifacts reproduce)"

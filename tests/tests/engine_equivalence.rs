@@ -124,11 +124,16 @@ fn transition_counts_partition_accesses() {
         EngineKind::HybridInfiniteCutoff,
     ] {
         let r = run_kind(kind, &spec).report;
+        // `SeqlockValidated` is the one category that is not a transition:
+        // the read completed against a standing RdSh state with no state
+        // change at all (DESIGN.md §12). Retries/fallbacks are not terminal —
+        // a fallback resolves through one of the other categories.
         let transitions = r.get(Event::OptSameState)
             + r.get(Event::OptUpgrading)
             + r.get(Event::OptFence)
             + r.opt_conflicting()
-            + r.pess_uncontended();
+            + r.pess_uncontended()
+            + r.get(Event::SeqlockValidated);
         assert_eq!(
             transitions,
             r.accesses(),

@@ -81,11 +81,14 @@ proptest! {
             HybridConfig { policy, ..HybridConfig::default() },
         );
         let r = run_workload(&engine, &spec).report;
+        // Seqlock-validated reads resolve with no transition at all
+        // (DESIGN.md §12); they are the one non-transition category.
         let transitions = r.get(Event::OptSameState)
             + r.get(Event::OptUpgrading)
             + r.get(Event::OptFence)
             + r.opt_conflicting()
-            + r.pess_uncontended();
+            + r.pess_uncontended()
+            + r.get(Event::SeqlockValidated);
         prop_assert_eq!(transitions, r.accesses());
         // Policy moves are bounded by the one-way valve: at most one
         // opt→pess and one pess→opt per object.
