@@ -10,11 +10,17 @@
 //! the gate (new benches land before their baseline). A *baseline-only* row
 //! is a hard usage error (exit 2): the bench suite silently shrank, and a
 //! gate that skips vanished measurements is blind — retiring a row requires
-//! regenerating the baseline in the same commit. Rows matching an
-//! `--advisory` name prefix are compared and reported but never fail the
-//! gate — for
-//! measurements whose run-to-run distribution is known-bimodal on a shared
-//! host (see DESIGN.md §10 on the always-optimistic contention rows).
+//! regenerating the baseline in the same commit.
+//!
+//! Advisory status (compared and reported, never failing the gate — for
+//! measurements whose run-to-run distribution is known-unstable on a shared
+//! host) comes from the report itself: rows carry an `advisory` flag set by
+//! the emitting binary. The `--advisory PREFIX` flag is still honored for
+//! ad-hoc comparisons, but a row whose *baseline* is gated and whose fresh
+//! measurement arrives marked advisory is a hard usage error (exit 2):
+//! silently un-gating a previously-gated row would blind the gate exactly
+//! like dropping the row would, so the demotion must land together with a
+//! regenerated baseline.
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use drink_bench::report::Report;
@@ -71,14 +77,36 @@ fn main() {
         std::process::exit(2);
     }
 
+    // A fresh row marked advisory over a gated baseline is a silent
+    // un-gating: refuse before comparing anything. (`--advisory` prefixes
+    // are the operator explicitly accepting the demotion for this run.)
+    let demoted: Vec<&str> = base
+        .demoted_rows(&fresh)
+        .into_iter()
+        .filter(|n| !advisory.iter().any(|p| n.starts_with(p.as_str())))
+        .collect();
+    if !demoted.is_empty() {
+        for name in &demoted {
+            eprintln!("{name:<28} DEMOTED to advisory (baseline is gated)");
+        }
+        eprintln!(
+            "bench_compare: {} previously-gated row(s) arrived marked advisory — \
+             demoting a row requires regenerating the baseline in the same commit",
+            demoted.len()
+        );
+        std::process::exit(2);
+    }
+
     let mut regressions = 0u32;
     for row in &fresh.rows {
+        let is_advisory =
+            row.advisory || advisory.iter().any(|p| row.name.starts_with(p.as_str()));
         match base.rows.iter().find(|b| b.name == row.name) {
             Some(b) if b.ns_per_op > 0.0 => {
                 let delta = (row.ns_per_op / b.ns_per_op - 1.0) * 100.0;
                 let verdict = if delta <= threshold {
                     "ok"
-                } else if advisory.iter().any(|p| row.name.starts_with(p.as_str())) {
+                } else if is_advisory {
                     "over threshold (advisory row)"
                 } else {
                     regressions += 1;

@@ -9,7 +9,13 @@
 //!    actually pays under contention;
 //! 2. **engine-level conflicting-transition throughput** — the RdSh-heavy
 //!    `chaosRdsh` op mix (no chaos scheduler here: plain timed runs) on
-//!    Pess/Opt/Hybrid at 2/4/8 threads, reported as ns per tracked access.
+//!    Pess/Opt/Adaptive/Hybrid at 2/4/8 threads, reported as ns per tracked
+//!    access. The `opt_access_*` and `adapt_access_*` rows are gated: both
+//!    configurations run the online demotion controller (DESIGN.md §13),
+//!    which demotes the coordination-storm hot set to the pessimistic
+//!    protocol and collapses the scheduler-rotation-bound roundtrip tail
+//!    that used to make the always-optimistic rows bimodal on single-core
+//!    hosts.
 //!
 //! Like `hotpath`, iteration counts are fixed so runs are comparable across
 //! commits; every row takes the **minimum** of `--trials` (default 5)
@@ -40,7 +46,7 @@ const WIDTHS: [usize; 3] = [2, 4, 8];
 
 fn push_row(rows: &mut Vec<Row>, name: String, iters: u64, ns: f64) {
     println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters)");
-    rows.push(Row { name, iters, ns_per_op: ns });
+    rows.push(Row { name, iters, ns_per_op: ns, advisory: false });
 }
 
 /// Raw all-peer coordination latency against `n - 1` polling responders.
@@ -124,12 +130,16 @@ fn contention_spec(threads: usize, steps: usize) -> WorkloadSpec {
 /// wall time over the same deterministic op streams, reported per tracked
 /// access.
 fn engine_throughput(rows: &mut Vec<Row>, scale: f64, trials: usize) {
-    let steps = ((4000.0 * scale) as usize).max(200);
+    // Long enough that the adaptive controller's warm-up — one measured
+    // roundtrip per hot object before demotion can fire — is amortized into
+    // the per-access figure rather than dominating it.
+    let steps = ((12_000.0 * scale) as usize).max(200);
     for n in WIDTHS {
         let spec = contention_spec(n, steps);
         for (tag, kind) in [
             ("pess", EngineKind::Pessimistic),
             ("opt", EngineKind::Optimistic),
+            ("adapt", EngineKind::Adaptive),
             ("hybrid", EngineKind::Hybrid),
         ] {
             let mut best = std::time::Duration::MAX;
@@ -149,10 +159,10 @@ fn engine_throughput(rows: &mut Vec<Row>, scale: f64, trials: usize) {
             }
             let ns = best.as_nanos() as f64 / accesses as f64;
             push_row(rows, format!("{tag}_access_t{n}"), accesses, ns);
-            // Diagnostic only (not a gated row): where the wall time went.
-            // On a loaded/single-core host the all-peer explicit roundtrips
-            // are scheduler-quantum-bound, which is what makes the
-            // `opt_access_*` rows bimodal across runs (DESIGN.md §10).
+            // Diagnostic only: where the wall time went. Scheduler-bound
+            // all-peer roundtrips are exactly what the controller's EWMA
+            // measures; once the hot set demotes, the remaining fan-outs
+            // are the pre-demotion warm-up (DESIGN.md §10, §13).
             println!(
                 "  {tag}_access_t{n}: {} fan-outs, complete p50={:.0}ns p99={:.0}ns",
                 fanout_p.2, fanout_p.0, fanout_p.1

@@ -28,7 +28,7 @@ fn main() {
         return;
     }
     let Some(path) = args.first() else {
-        eprintln!("usage: custom_workload <spec.json> [baseline|pessimistic|optimistic|hybrid|hybrid-inf|ideal]");
+        eprintln!("usage: custom_workload <spec.json> [baseline|pessimistic|optimistic|adaptive|hybrid|hybrid-inf|ideal]");
         eprintln!("       custom_workload --template   # print a starting spec");
         std::process::exit(2);
     };
@@ -50,6 +50,7 @@ fn main() {
         Some("baseline") => vec![EngineKind::Baseline],
         Some("pessimistic") => vec![EngineKind::Baseline, EngineKind::Pessimistic],
         Some("optimistic") => vec![EngineKind::Baseline, EngineKind::Optimistic],
+        Some("adaptive") => vec![EngineKind::Baseline, EngineKind::Adaptive],
         Some("hybrid") => vec![EngineKind::Baseline, EngineKind::Hybrid],
         Some("hybrid-inf") => vec![EngineKind::Baseline, EngineKind::HybridInfiniteCutoff],
         Some("ideal") => vec![EngineKind::Baseline, EngineKind::Ideal],

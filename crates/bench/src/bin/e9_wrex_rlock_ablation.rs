@@ -46,6 +46,8 @@ fn spec(scale: f64) -> WorkloadSpec {
         seed: 0xE9,
         yield_every: 0,
         monitor_spin: None,
+        coord_deadline_ms: None,
+        phase_every: 0,
     }
 }
 

@@ -47,6 +47,9 @@ fn measure(name: &str, iters: u64, mut f: impl FnMut()) -> Row {
         name: name.to_string(),
         iters,
         ns_per_op: ns,
+        // Advisory rows (report-only, never gated) declare themselves at
+        // the emission site: see `trace_overhead`.
+        advisory: false,
     }
 }
 
@@ -226,11 +229,16 @@ fn trace_overhead(rows: &mut Vec<Row>) {
         let engine = HybridEngine::new(rt);
         let t = engine.attach();
         engine.alloc_init(ObjId(0), t);
-        rows.push(measure(label, N, || {
+        let mut row = measure(label, N, || {
             for i in 0..N {
                 engine.write(t, ObjId(0), black_box(i));
             }
-        }));
+        });
+        // Ring-buffer stores on the hot path are an expected, opt-in cost
+        // (DESIGN.md §11): report-only. The trace-off row stays gated — it
+        // is the evidence the disabled valve costs one predicted branch.
+        row.advisory = capacity > 0;
+        rows.push(row);
         engine.detach(t);
     }
 }

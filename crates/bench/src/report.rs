@@ -13,14 +13,55 @@ use serde::{Deserialize, Serialize};
 /// Version of the on-disk report layout. Bump whenever a field is added,
 /// removed, or reinterpreted; checked-in `BENCH_*.json` baselines must be
 /// regenerated in the same commit.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One measured bench row: fixed iteration count, best-of-trials ns/op.
-#[derive(Serialize, Deserialize, Clone, Debug, PartialEq)]
+///
+/// `advisory` is the *emitting binary's* declaration that the row's
+/// run-to-run distribution is known-unstable on shared hosts and must be
+/// reported but never gated. Because it is embedded in the report rather
+/// than passed as a comparator flag, gating status is part of the measured
+/// artifact — and `bench_compare` can detect the one transition that must
+/// never happen silently: a row whose baseline is gated showing up advisory
+/// in a fresh report (exit 2).
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     pub name: String,
     pub iters: u64,
     pub ns_per_op: f64,
+    pub advisory: bool,
+}
+
+// Hand-written (de)serialization: the workspace serde shim's derive macro
+// supports no `#[serde(...)]` attributes, and `advisory` must parse as
+// `false` when absent so pre-v3 baselines (which lack the field) load as
+// fully gated rather than failing or — worse — silently un-gated.
+impl Serialize for Row {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("name".to_string(), self.name.to_value()),
+            ("iters".to_string(), self.iters.to_value()),
+            ("ns_per_op".to_string(), self.ns_per_op.to_value()),
+            ("advisory".to_string(), self.advisory.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Row {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for Row"))?;
+        Ok(Row {
+            name: Deserialize::from_value(serde::map_get(m, "name")?)?,
+            iters: Deserialize::from_value(serde::map_get(m, "iters")?)?,
+            ns_per_op: Deserialize::from_value(serde::map_get(m, "ns_per_op")?)?,
+            advisory: match m.iter().find(|(k, _)| k == "advisory") {
+                Some((_, val)) => Deserialize::from_value(val)?,
+                None => false,
+            },
+        })
+    }
 }
 
 /// A full bench report: which suite produced it, under which schema layout.
@@ -44,9 +85,14 @@ impl Report {
         }
     }
 
-    /// Record one row.
+    /// Record one gated row.
     pub fn push(&mut self, name: String, iters: u64, ns_per_op: f64) {
-        self.rows.push(Row { name, iters, ns_per_op });
+        self.rows.push(Row { name, iters, ns_per_op, advisory: false });
+    }
+
+    /// Record one advisory (report-only, never gated) row.
+    pub fn push_advisory(&mut self, name: String, iters: u64, ns_per_op: f64) {
+        self.rows.push(Row { name, iters, ns_per_op, advisory: true });
     }
 
     /// Parse a report, rejecting schema-version mismatches with a message
@@ -97,6 +143,24 @@ impl Report {
             .map(|b| b.name.as_str())
             .collect()
     }
+
+    /// Names of rows that are gated in `self` (the baseline) but marked
+    /// advisory in `fresh` — the silent un-gating `bench_compare` refuses
+    /// (exit 2): a bench binary may only demote a row from gated to
+    /// advisory together with a regenerated baseline in the same commit.
+    pub fn demoted_rows<'a>(&'a self, fresh: &Report) -> Vec<&'a str> {
+        self.rows
+            .iter()
+            .filter(|b| {
+                !b.advisory
+                    && fresh
+                        .rows
+                        .iter()
+                        .any(|r| r.name == b.name && r.advisory)
+            })
+            .map(|b| b.name.as_str())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +199,29 @@ mod tests {
         // Asymmetric: fresh-only rows count as missing only from base's view.
         assert_eq!(fresh.missing_rows(&base), vec!["brand_new"]);
         assert!(base.missing_rows(&base).is_empty());
+    }
+
+    #[test]
+    fn advisory_defaults_off_and_demotions_are_named() {
+        // A report without the field parses as gated (older baselines).
+        let json = format!(
+            r#"{{"schema":"drink-bench/test","schema_version":{SCHEMA_VERSION},
+                 "rows":[{{"name":"r","iters":10,"ns_per_op":1.0}}]}}"#
+        );
+        let r = Report::parse(&json).unwrap();
+        assert!(!r.rows[0].advisory);
+
+        let mut base = Report::new("drink-bench/test");
+        base.push("stays_gated".into(), 10, 1.0);
+        base.push("goes_advisory".into(), 10, 1.0);
+        base.push_advisory("always_advisory".into(), 10, 1.0);
+        let mut fresh = Report::new("drink-bench/test");
+        fresh.push("stays_gated".into(), 10, 1.0);
+        fresh.push_advisory("goes_advisory".into(), 10, 1.0);
+        fresh.push_advisory("always_advisory".into(), 10, 1.0);
+        // Only the gated->advisory transition is flagged; a row that was
+        // already advisory in the baseline stays free to remain so.
+        assert_eq!(base.demoted_rows(&fresh), vec!["goes_advisory"]);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub fn kind_from_label(label: &str) -> Option<EngineKind> {
         EngineKind::Optimistic,
         EngineKind::Hybrid,
         EngineKind::HybridInfiniteCutoff,
+        EngineKind::Adaptive,
         EngineKind::Ideal,
     ]
     .into_iter()

@@ -219,6 +219,75 @@ pub fn read_mostly_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureAr
     Ok(())
 }
 
+/// The degradation-ladder oracle (DESIGN.md §13), meant for the
+/// phase-shifted [`drink_workloads::chaos_adapt`] spec, which turns on a
+/// recoverable coordination deadline and oscillates hot objects between
+/// write-heavy and read-mostly phases:
+///
+/// * **engine agreement** — access counts match across the static matrix
+///   *and* the adaptive engine: the controller redistributes accesses
+///   between the optimistic and pessimistic protocols but must not lose or
+///   invent any;
+/// * **the controller is live** — the adaptive cell demoted at least one
+///   object (`adapt.demotion > 0`): chaos sleeps at coordination points
+///   push measured roundtrip cost past the hysteresis band, and a spec
+///   whose controller never fires is not testing the ladder;
+/// * **deadline discipline** — any `coord.deadline_exceeded` events are
+///   recoverable by construction (the run completed, so none escalated to
+///   a watchdog panic); they are reported for visibility.
+pub fn adapt_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureArtifact> {
+    let mut accesses: Option<(EngineKind, u64)> = None;
+    let mut demotions = 0u64;
+    let mut engines = MATRIX_ENGINES.to_vec();
+    engines.push(EngineKind::Adaptive);
+    for kind in engines {
+        let cell = harness::run_cell(kind, spec, seed)?;
+        let r = &cell.run.report;
+        let fail = |failure: String, traces| FailureArtifact {
+            seed,
+            engine: kind.label().to_string(),
+            spec: spec.clone(),
+            failure,
+            traces,
+            events: Vec::new(),
+        };
+
+        let a = r.accesses();
+        match accesses {
+            None => accesses = Some((kind, a)),
+            Some((k0, a0)) if a0 != a => {
+                return Err(fail(
+                    format!(
+                        "access counts diverge: {} performed {a0}, {} performed {a}",
+                        k0.label(),
+                        kind.label()
+                    ),
+                    cell.traces,
+                ));
+            }
+            Some(_) => {}
+        }
+
+        if kind == EngineKind::Adaptive {
+            demotions = r.get(Event::AdaptDemotion);
+            if demotions == 0 {
+                return Err(fail(
+                    format!(
+                        "controller never demoted on a phase-shifted hot set \
+                         (coord roundtrips={}, deadline expiries={}) — the \
+                         degradation ladder is not being exercised",
+                        r.get(Event::CoordinationRoundtrip),
+                        r.get(Event::CoordDeadlineExceeded),
+                    ),
+                    cell.traces,
+                ));
+            }
+        }
+    }
+    debug_assert!(demotions > 0);
+    Ok(())
+}
+
 fn first_heap_divergence(a: &[u64], b: &[u64]) -> String {
     if a.len() != b.len() {
         return format!("lengths {} vs {}", a.len(), b.len());
@@ -378,6 +447,17 @@ mod tests {
                 "batch occupancy {} < 1",
                 report.batch_occupancy()
             );
+        }
+    }
+
+    /// The degradation-ladder oracle on its intended spec: the static
+    /// matrix and the adaptive engine agree on access counts while the
+    /// controller performs real demotions under perturbation.
+    #[test]
+    fn adapt_oracle_holds_under_chaos() {
+        for seed in [0x51u64, 0x52] {
+            adapt_check(&drink_workloads::chaos_adapt(seed), seed)
+                .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
         }
     }
 

@@ -45,6 +45,12 @@ pub struct EngineCommon<S: Support> {
     /// The adaptive policy (only the hybrid engine consults it on accesses,
     /// but flushes are shared).
     pub policy: AdaptivePolicy,
+    /// The online opt→pess demotion controller (DESIGN.md §13), if this
+    /// engine runs one. When present it *owns* the unlock-time valve
+    /// decision: engines attach it to infinite-cutoff configurations, where
+    /// the §6 phase machine never advances past `OptInitial` and its valve
+    /// would otherwise pin every demoted object pessimistic forever.
+    pub adapt: Option<crate::adapt::AdaptController>,
     /// One slot per mutator, each padded to its own cache line so thread
     /// A's hot bookkeeping (lock buffer, stats) never false-shares with
     /// thread B's.
@@ -69,8 +75,16 @@ impl<S: Support> EngineCommon<S> {
             rt,
             support,
             policy,
+            adapt: None,
             per_thread,
         }
+    }
+
+    /// Attach (or omit) an online demotion controller. Builder-style so the
+    /// engines that don't run one never mention it.
+    pub fn with_adapt(mut self, adapt: Option<crate::adapt::AdaptController>) -> Self {
+        self.adapt = adapt;
+        self
     }
 
     /// Per-thread state of mutator `t`.
@@ -188,7 +202,13 @@ impl<S: Support> EngineCommon<S> {
             #[cfg(feature = "check-invariants")]
             w.validate()
                 .unwrap_or_else(|e| panic!("ill-formed state word on {o:?}: {w:?} — {e}"));
-            let to_opt = self.policy.unlock_to_optimistic(obj.profile());
+            // With a demotion controller attached, *it* is the valve: a
+            // demoted object stays pessimistic until the controller promotes
+            // it back (the §6 phase valve is vacuous at infinite cutoff).
+            let to_opt = match &self.adapt {
+                Some(a) => !a.is_demoted(o.0),
+                None => self.policy.unlock_to_optimistic(obj.profile()),
+            };
             let unlocked = w.unlock_one();
             // An exclusive state (or the last RdSh share) may transfer to
             // optimistic states at unlock time (Figure 3's upper diamond).
@@ -241,6 +261,20 @@ impl<S: Support> EngineCommon<S> {
     /// waiting thread keeps acting as a safe point.
     #[cold]
     pub fn respond_pending(&self, ts: &mut ThreadState) {
+        // Injected fault (check builds only): freeze the responder before it
+        // drains, modeling a descheduled/overloaded victim. Gated on a
+        // request actually waiting — some intermediate-state wait loops call
+        // this unconditionally, and an ungated sleep would stall requesters
+        // too, not just responders. What bounds the requester's wait is then
+        // the coordination deadline (recoverable) or the spin watchdog
+        // (panic) — scripts/check_gate.sh's stall canary asserts the latter
+        // fires, is artifacted, and reproduces.
+        #[cfg(feature = "check-invariants")]
+        if self.rt.control(ts.tid).has_pending_requests() {
+            if let Some(d) = drink_runtime::injected_fault("stall-responder") {
+                std::thread::sleep(d);
+            }
+        }
         let ctl = self.rt.control(ts.tid);
         self.rt.sched_point(ts.tid, SchedPoint::CoordRespond);
         // Drain into per-session scratch (swapped out so support callbacks

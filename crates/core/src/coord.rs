@@ -21,15 +21,125 @@
 //! iteration and falls back to implicit coordination if the remote has
 //! blocked; the stale queued request is answered harmlessly when the remote
 //! eventually wakes.
+//!
+//! ## Waiting, bounded two ways (DESIGN.md §13)
+//!
+//! Requesters wait through [`CoordWait`], a shared backoff ladder: spin
+//! hints → yields (the [`Spin`] phases) → bounded condvar parks on the
+//! requester's [`Waker`] once contention is evidently not transient. Both
+//! the response-token completion and a peer enqueueing a request *to us*
+//! notify that waker, so a parked requester keeps acting as a safe point
+//! with at most one park-interval of latency.
+//!
+//! The wait is bounded two ways:
+//!
+//! * the `*_deadline` variants take a **recoverable deadline** (the
+//!   runtime's `coord_deadline` knob): on expiry they return `None` and the
+//!   engine falls back to the pessimistic protocol for that object — a
+//!   *policy* decision, not a failure;
+//! * the plain variants keep the **hard-panic spin watchdog**: a
+//!   coordination that never completes with no deadline configured is a
+//!   protocol bug, and hiding it would be worse than crashing.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use drink_runtime::{
-    CoordRequest, LatencyKind, ResponseToken, Runtime, SchedPoint, ThreadId, ThreadStatus,
-    TraceKind,
+    CoordRequest, LatencyKind, ResponseToken, Runtime, SchedPoint, Spin, SpinOutcome, ThreadId,
+    ThreadStatus, TraceKind, Waker,
 };
 
 use crate::support::CoordMode;
+
+/// Consecutive no-progress wait steps before a requester escalates from
+/// spinning/yielding to parking on its [`Waker`]. Matches the tail of the
+/// [`Spin`] yield phase: by this point the responder has demonstrably not
+/// been one quantum away.
+const PARK_AFTER_STEPS: u32 = 192;
+/// First park interval; doubles per park up to [`PARK_MAX`]. Short enough
+/// that a lost wakeup (tolerated by [`Waker::park`]'s bounded wait) costs
+/// microseconds, long enough to actually free the core.
+const PARK_INITIAL: Duration = Duration::from_micros(50);
+/// Park interval ceiling: bounds both lost-wakeup latency and deadline
+/// overshoot.
+const PARK_MAX: Duration = Duration::from_millis(1);
+
+/// The coordination wait ladder: spin → yield → park, with an optional
+/// recoverable deadline. One instance per coordination episode; fan-outs
+/// reset it via [`CoordWait::progressed`] whenever a poll pass resolves at
+/// least one peer, so the ladder measures *time since last progress*, not
+/// total episode length.
+struct CoordWait<'rt> {
+    spin: Spin<'rt>,
+    waker: &'rt Arc<Waker>,
+    /// Absolute expiry, if this wait is deadline-bounded (recoverable).
+    expires_at: Option<Instant>,
+    /// Wait steps since the last observed progress.
+    idle: u32,
+    interval: Duration,
+}
+
+impl<'rt> CoordWait<'rt> {
+    fn new(
+        rt: &'rt Runtime,
+        me: ThreadId,
+        what: &'static str,
+        deadline: Option<Duration>,
+    ) -> Self {
+        let (spin, expires_at) = match deadline {
+            // Exact budget: a DRINK_SPIN_BUDGET_MS override bounds hangs,
+            // not clean deadline expiries.
+            Some(d) => (rt.deadline_spinner_for(me, what, d), Some(Instant::now() + d)),
+            None => (rt.spinner_for(me, what), None),
+        };
+        CoordWait {
+            spin,
+            waker: rt.control(me).waker(),
+            expires_at,
+            idle: 0,
+            interval: PARK_INITIAL,
+        }
+    }
+
+    /// Something completed since the last step; de-escalate fully.
+    fn progressed(&mut self) {
+        self.idle = 0;
+        self.interval = PARK_INITIAL;
+    }
+
+    /// One no-progress wait step. Returns [`SpinOutcome::Expired`] only for
+    /// deadline-bounded waits; without a deadline a wait that exhausts the
+    /// watchdog budget panics (protocol bug), exactly as before.
+    fn step(&mut self) -> SpinOutcome {
+        self.idle += 1;
+        if self.idle > PARK_AFTER_STEPS {
+            // Escalate to parking. Token completions and incoming requests
+            // notify the waker; the bounded interval is the lost-wakeup
+            // backstop and keeps the caller's respond-as-safepoint duty at
+            // one-interval latency worst case.
+            self.spin.note_park();
+            match self.expires_at {
+                Some(at) => {
+                    let left = at.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return SpinOutcome::Expired;
+                    }
+                    self.waker.park(self.interval.min(left));
+                }
+                None => self.waker.park(self.interval),
+            }
+            self.interval = (self.interval * 2).min(PARK_MAX);
+        }
+        // Still step the spinner every iteration: it keeps the hang
+        // backstop armed (and, under a deadline, checks expiry).
+        if self.expires_at.is_some() {
+            self.spin.checked_spin()
+        } else {
+            self.spin.spin();
+            SpinOutcome::Progress
+        }
+    }
+}
 
 /// Outcome of coordinating with one remote thread.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,7 +154,7 @@ pub struct CoordOutcome {
 }
 
 /// Coordinate with `remote` on behalf of `me`. `respond_self` is invoked on
-/// every spin iteration so the requester acts as a safe point while waiting.
+/// every wait step so the requester acts as a safe point while waiting.
 ///
 /// Panics (via the runtime's spin watchdog) if the remote thread never
 /// responds — always a protocol bug.
@@ -55,20 +165,42 @@ pub fn coordinate_one(
     obj: Option<drink_runtime::ObjId>,
     respond_self: &mut impl FnMut(),
 ) -> CoordOutcome {
+    match coordinate_one_deadline(rt, me, remote, obj, respond_self, None) {
+        Some(out) => out,
+        // Without a deadline the wait either completes or the watchdog
+        // panics inside the loop; it cannot expire.
+        None => unreachable!("undeadlined coordination cannot expire"),
+    }
+}
+
+/// [`coordinate_one`] with an optional recoverable deadline. Returns `None`
+/// if `deadline` elapsed without a resolution: the requester stops waiting
+/// and the caller falls back to the pessimistic protocol for this object
+/// (DESIGN.md §13). Any enqueued token simply goes stale — the remote
+/// answers it at its next safe point or wake, and nobody reads it, the same
+/// closure as the blocked-fallback race above.
+pub fn coordinate_one_deadline(
+    rt: &Runtime,
+    me: ThreadId,
+    remote: ThreadId,
+    obj: Option<drink_runtime::ObjId>,
+    respond_self: &mut impl FnMut(),
+    deadline: Option<Duration>,
+) -> Option<CoordOutcome> {
     debug_assert_ne!(me, remote, "a thread never coordinates with itself");
     let ctl = rt.control(remote);
     let t0 = Instant::now();
-    let mut pending: Option<std::sync::Arc<ResponseToken>> = None;
-    let mut spin = rt.spinner_for(me, "coordination response");
+    let mut pending: Option<Arc<ResponseToken>> = None;
+    let mut wait = CoordWait::new(rt, me, "coordination response", deadline);
     loop {
         if let Some(tok) = &pending {
             if tok.is_done() {
                 rt.stats()
                     .record_latency(LatencyKind::CoordRoundtrip, t0.elapsed().as_nanos() as u64);
-                return CoordOutcome {
+                return Some(CoordOutcome {
                     mode: CoordMode::Explicit,
                     source_clock: tok.responder_clock(),
-                };
+                });
             }
         }
         match ctl.status() {
@@ -79,16 +211,18 @@ pub fn coordinate_one(
                     // access. (If we also enqueued an explicit request, the
                     // remote answers the stale token on wake; nobody reads it.)
                     rt.trace(me, TraceKind::CoordImplicit, remote.raw() as u64);
-                    return CoordOutcome {
+                    return Some(CoordOutcome {
                         mode: CoordMode::Implicit,
                         source_clock: ctl.release_clock(),
-                    };
+                    });
                 }
                 // Status changed under us; retry the whole protocol.
             }
             ThreadStatus::Running { .. } => {
                 if pending.is_none() {
-                    let token = ResponseToken::new();
+                    // The token carries our waker so the responder's
+                    // `complete` can unpark us if we escalated to parking.
+                    let token = ResponseToken::with_waker(rt.control(me).waker().clone());
                     ctl.enqueue_request(CoordRequest {
                         from: me,
                         obj,
@@ -102,7 +236,10 @@ pub fn coordinate_one(
         }
         // Act as a safe point while waiting (deadlock freedom).
         respond_self();
-        spin.spin();
+        if wait.step() == SpinOutcome::Expired {
+            rt.trace(me, TraceKind::CoordDeadline, remote.raw() as u64);
+            return None;
+        }
     }
 }
 
@@ -202,6 +339,29 @@ pub fn coordinate_many(
     sources: &mut Vec<(ThreadId, u64)>,
     pending: &mut Vec<PendingPeer>,
 ) -> CoordMode {
+    match coordinate_many_deadline(rt, me, obj, respond_self, sources, pending, None) {
+        Some(mode) => mode,
+        None => unreachable!("undeadlined fan-out cannot expire"),
+    }
+}
+
+/// [`coordinate_many`] with an optional recoverable deadline covering the
+/// *whole* fan-out. Returns `None` if the deadline elapsed with peers still
+/// outstanding; `sources` may then hold partial resolutions, and the caller
+/// must discard them (engines use cleared scratch, so abandoning the vec is
+/// enough). No completion version bump happens on expiry — the caller's
+/// abort path restores the state word and bumps, which is what seqlock
+/// readers key on. Outstanding stale tokens are answered by their peers'
+/// next safe point, as ever.
+pub fn coordinate_many_deadline(
+    rt: &Runtime,
+    me: ThreadId,
+    obj: Option<drink_runtime::ObjId>,
+    respond_self: &mut impl FnMut(),
+    sources: &mut Vec<(ThreadId, u64)>,
+    pending: &mut Vec<PendingPeer>,
+    deadline: Option<Duration>,
+) -> Option<CoordMode> {
     let n = rt.registered_threads();
     let t0 = Instant::now();
     let mut any_explicit = false;
@@ -243,9 +403,10 @@ pub fn coordinate_many(
         // backoff, so all responders work concurrently.
         rt.trace(me, TraceKind::FanoutEnqueue, pending.len() as u64);
         rt.sched_point(me, SchedPoint::CoordFanoutEnqueue);
-        let mut spin = rt.spinner_for(me, "fan-out coordination responses");
+        let mut wait = CoordWait::new(rt, me, "fan-out coordination responses", deadline);
         loop {
             // Phase 3: one combined poll pass over all outstanding peers.
+            let outstanding = pending.len();
             pending.retain_mut(|p| {
                 match advance_peer(rt, me, obj, p) {
                     Some((clock, CoordMode::Explicit)) => {
@@ -266,10 +427,18 @@ pub fn coordinate_many(
             if pending.is_empty() {
                 break;
             }
+            if pending.len() < outstanding {
+                // A peer resolved this pass: the fan-out is moving, so
+                // de-escalate the ladder back to spinning.
+                wait.progressed();
+            }
             rt.sched_point(me, SchedPoint::CoordFanoutPoll);
             // Act as a safe point while waiting (deadlock freedom).
             respond_self();
-            spin.spin();
+            if wait.step() == SpinOutcome::Expired {
+                rt.trace(me, TraceKind::CoordDeadline, pending.len() as u64);
+                return None;
+            }
         }
     }
     // Same completion bump as the sequential protocol: no seqlock read may
@@ -279,7 +448,7 @@ pub fn coordinate_many(
     }
     rt.stats().record_latency(LatencyKind::FanoutComplete, t0.elapsed().as_nanos() as u64);
     rt.trace(me, TraceKind::FanoutComplete, (sources.len() - before) as u64);
-    combine_modes(any_explicit, any_implicit)
+    Some(combine_modes(any_explicit, any_implicit))
 }
 
 /// One peer's step of the fan-out state machine — the body of
@@ -308,7 +477,9 @@ fn advance_peer(
         }
         ThreadStatus::Running { .. } => {
             if p.token.is_none() {
-                let token = ResponseToken::new();
+                // Waker-carrying, like coordinate_one's: completions unpark
+                // a requester that escalated to parking.
+                let token = ResponseToken::with_waker(rt.control(me).waker().clone());
                 ctl.enqueue_request(CoordRequest {
                     from: me,
                     obj,
@@ -571,6 +742,163 @@ mod tests {
             req.token.complete(clock);
         }
         assert!(!ctl.has_stranded_requests(), "inbox clean after the wake");
+    }
+
+    /// A peer that stays RUNNING but never polls its request queue: the
+    /// deadline must fire, the call must return `None` (no panic, no hang),
+    /// and the stale token must be answerable afterwards.
+    #[test]
+    fn deadline_expires_against_stalled_peer() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let stalled = rt.register_thread();
+
+        let t0 = Instant::now();
+        let out = coordinate_one_deadline(
+            &rt,
+            me,
+            stalled,
+            None,
+            &mut || {},
+            Some(Duration::from_millis(30)),
+        );
+        assert_eq!(out, None, "stalled peer must trip the deadline");
+        let waited = t0.elapsed();
+        assert!(waited >= Duration::from_millis(30), "deadline honored: {waited:?}");
+        assert!(waited < Duration::from_secs(5), "expiry is prompt, not a watchdog: {waited:?}");
+
+        // The abandoned request is still answerable at the peer's next safe
+        // point — nothing is stranded by the bail-out.
+        let ctl = rt.control(stalled);
+        let stale = ctl.take_requests();
+        assert_eq!(stale.len(), 1);
+        for req in stale {
+            req.token.complete(ctl.bump_release_clock());
+        }
+        assert!(!ctl.has_stranded_requests());
+    }
+
+    /// Fan-out variant: one responsive peer, one stalled. The deadline fires
+    /// with partial progress; the caller treats `sources` as garbage.
+    #[test]
+    fn fanout_deadline_expires_with_partial_progress() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let good = rt.register_thread();
+        let _stalled = rt.register_thread();
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let rtr = &rt;
+            let stop_r = &stop;
+            s.spawn(move || {
+                let ctl = rtr.control(good);
+                let mut spin = rtr.spinner("requests in test");
+                while !stop_r.load(Ordering::Relaxed) {
+                    for req in ctl.take_requests() {
+                        req.token.complete(ctl.bump_release_clock());
+                    }
+                    spin.spin();
+                }
+            });
+
+            let mut sources = Vec::new();
+            let mut pending = Vec::new();
+            let mode = coordinate_many_deadline(
+                &rt,
+                me,
+                None,
+                &mut || {},
+                &mut sources,
+                &mut pending,
+                Some(Duration::from_millis(30)),
+            );
+            stop.store(true, Ordering::Relaxed);
+            assert_eq!(mode, None, "one stalled peer must trip the fan-out deadline");
+            assert!(sources.len() <= 1, "at most the responsive peer resolved");
+        });
+    }
+
+    /// Liveness through the park phase: the responder answers only after the
+    /// requester has long since escalated from spinning to parking, and the
+    /// roundtrip must still complete (token notify → unpark).
+    #[test]
+    fn parked_requester_completes_roundtrip() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let remote = rt.register_thread();
+
+        std::thread::scope(|s| {
+            let rtr = &rt;
+            s.spawn(move || {
+                let ctl = rtr.control(remote);
+                // Let the requester climb the whole ladder before answering.
+                std::thread::sleep(Duration::from_millis(40));
+                let mut spin = rtr.spinner("request in test");
+                loop {
+                    let reqs = ctl.take_requests();
+                    if !reqs.is_empty() {
+                        let clock = ctl.bump_release_clock();
+                        for req in reqs {
+                            req.token.complete(clock);
+                        }
+                        break;
+                    }
+                    spin.spin();
+                }
+            });
+
+            let out = coordinate_one(&rt, me, remote, None, &mut || {});
+            assert_eq!(out.mode, CoordMode::Explicit);
+            assert_eq!(out.source_clock, 1);
+        });
+    }
+
+    /// Safe-point duty survives parking: a requester stuck waiting on a
+    /// stalled peer (deadline-bounded, deep in the park phase) must still
+    /// answer coordination requests sent *to it*, because its waker is
+    /// notified by `enqueue_request`.
+    #[test]
+    fn parked_requester_still_answers_requests() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let me = rt.register_thread();
+        let _stalled = rt.register_thread();
+        let third = rt.register_thread();
+
+        std::thread::scope(|s| {
+            let rtr = &rt;
+            let answered = s.spawn(move || {
+                // Give the requester time to reach the park phase, then ask
+                // it for a roundtrip; it must answer well before its own
+                // 300ms deadline expires.
+                std::thread::sleep(Duration::from_millis(60));
+                let t0 = Instant::now();
+                let out = coordinate_one(rtr, third, me, None, &mut || {});
+                (out.mode, t0.elapsed())
+            });
+
+            let ctl = rt.control(me);
+            let out = coordinate_one_deadline(
+                &rt,
+                me,
+                ThreadId(1),
+                None,
+                &mut || {
+                    for req in ctl.take_requests() {
+                        req.token.complete(ctl.bump_release_clock());
+                    }
+                },
+                Some(Duration::from_millis(300)),
+            );
+            assert_eq!(out, None, "the stalled peer still trips our deadline");
+
+            let (mode, latency) = answered.join().unwrap();
+            assert_eq!(mode, CoordMode::Explicit);
+            assert!(
+                latency < Duration::from_millis(200),
+                "parked requester answered within a few park intervals: {latency:?}"
+            );
+        });
     }
 
     #[test]

@@ -27,8 +27,9 @@ use std::sync::Arc;
 
 use drink_runtime::{Event, MonitorId, ObjId, Runtime, ThreadId, TraceKind};
 
+use crate::adapt::{AdaptConfig, AdaptController, AdaptEvent};
 use crate::common::EngineCommon;
-use crate::coord::{coordinate_many, coordinate_one};
+use crate::coord::{coordinate_many_deadline, coordinate_one_deadline};
 use crate::engine::Tracker;
 use crate::policy::{AdaptivePolicy, PolicyParams};
 use crate::support::{CoordMode, NullSupport, Support, SupportCx, TransitionEv};
@@ -66,6 +67,13 @@ pub struct HybridConfig {
     /// support may not). The paper reports this design "added significant
     /// overhead"; the `e10_deferred_unlock_ablation` harness quantifies it.
     pub eager_unlock: bool,
+    /// Run the online opt→pess demotion controller (DESIGN.md §13) with
+    /// these parameters. Meant for infinite-cutoff configurations: when set,
+    /// the controller *replaces* the §6 phase valve at unlock time (see
+    /// [`EngineCommon`]`::adapt`), demoting objects whose observed
+    /// coordination cost crosses the hysteresis band and re-promoting them
+    /// when pessimistic traffic proves cheap again.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl HybridConfig {
@@ -73,6 +81,17 @@ impl HybridConfig {
     pub fn infinite_cutoff() -> Self {
         HybridConfig {
             policy: PolicyParams::infinite_cutoff(),
+            ..HybridConfig::default()
+        }
+    }
+
+    /// Infinite cutoff with the online demotion controller attached: the
+    /// "graceful degradation" configuration — optimistic until measured
+    /// coordination cost says otherwise, per object, reversibly.
+    pub fn adaptive() -> Self {
+        HybridConfig {
+            policy: PolicyParams::infinite_cutoff(),
+            adapt: Some(AdaptConfig::default()),
             ..HybridConfig::default()
         }
     }
@@ -98,8 +117,12 @@ impl<S: Support> HybridEngine<S> {
             !(cfg.eager_unlock && S::PREPUBLISH),
             "the §3.1 eager-unlock ablation is tracking-only: recorders rely              on deferred unlocking's release-clock edges"
         );
+        let adapt = cfg
+            .adapt
+            .map(|a| AdaptController::new(a, rt.config().heap_objects));
         HybridEngine {
-            common: EngineCommon::new(rt, support, AdaptivePolicy::new(cfg.policy)),
+            common: EngineCommon::new(rt, support, AdaptivePolicy::new(cfg.policy))
+                .with_adapt(adapt),
             cfg,
         }
     }
@@ -116,9 +139,22 @@ impl<S: Support> HybridEngine<S> {
 
     // --- Shared conflict helpers (same as the optimistic engine) ---
 
-    fn conflict_coordinate(&self, ts: &mut ThreadState, o: ObjId, w: StateWord) -> CoordMode {
+    /// Coordinate an optimistic conflict on `o`. Returns `None` iff the
+    /// runtime's coordination deadline expired first (DESIGN.md §13): the
+    /// deadline event is recorded, the object force-demoted, and the caller
+    /// restores the pre-claim state and retries — subsequent traffic on the
+    /// object runs the pessimistic protocol, whose conflicting acquires need
+    /// no roundtrip at all.
+    fn conflict_coordinate(
+        &self,
+        ts: &mut ThreadState,
+        o: ObjId,
+        w: StateWord,
+    ) -> Option<CoordMode> {
         let rt = self.common.rt.clone();
         let t = ts.tid;
+        let deadline = rt.coord_deadline();
+        let t0 = std::time::Instant::now();
         let mut scratch = std::mem::take(&mut ts.src_scratch);
         let mut pending = std::mem::take(&mut ts.fanout_scratch);
         scratch.clear();
@@ -126,21 +162,74 @@ impl<S: Support> HybridEngine<S> {
         let mode = {
             let mut respond = self.common.respond_closure(ts);
             if fanout {
-                coordinate_many(&rt, t, Some(o), &mut respond, &mut scratch, &mut pending)
+                coordinate_many_deadline(
+                    &rt,
+                    t,
+                    Some(o),
+                    &mut respond,
+                    &mut scratch,
+                    &mut pending,
+                    deadline,
+                )
             } else {
-                let out = coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
-                scratch.push((w.owner(), out.source_clock));
-                out.mode
+                coordinate_one_deadline(&rt, t, w.owner(), Some(o), &mut respond, deadline).map(
+                    |out| {
+                        scratch.push((w.owner(), out.source_clock));
+                        out.mode
+                    },
+                )
             }
         };
-        if fanout {
+        if fanout && mode.is_some() {
             ts.stats.bump(Event::CoordFanout);
             ts.stats.add(Event::CoordFanoutPeers, scratch.len() as u64);
         }
         ts.src_scratch = scratch;
         ts.fanout_scratch = pending;
-        ts.stats.bump(Event::CoordinationRoundtrip);
-        mode
+        match mode {
+            Some(m) => {
+                ts.stats.bump(Event::CoordinationRoundtrip);
+                if let Some(a) = &self.common.adapt {
+                    let ev = a.record_coord(o.0, t0.elapsed().as_nanos() as u64);
+                    self.note_adapt_event(ts, o, ev);
+                }
+                Some(m)
+            }
+            None => {
+                self.note_coord_deadline(ts, o);
+                None
+            }
+        }
+    }
+
+    /// Bookkeeping for a tripped coordination deadline: stats, trace, and a
+    /// cooldown-bypassing demotion so the object's future traffic avoids the
+    /// coordination it just proved expensive.
+    #[cold]
+    fn note_coord_deadline(&self, ts: &mut ThreadState, o: ObjId) {
+        ts.stats.bump(Event::CoordDeadlineExceeded);
+        self.common.rt.trace(ts.tid, TraceKind::CoordDeadline, o.0 as u64);
+        if let Some(a) = &self.common.adapt {
+            if a.force_demote(o.0) {
+                ts.stats.bump(Event::AdaptDemotion);
+                self.common.rt.trace(ts.tid, TraceKind::AdaptDemote, o.0 as u64);
+            }
+        }
+    }
+
+    /// Stats/trace for a controller transition, if one happened.
+    fn note_adapt_event(&self, ts: &mut ThreadState, o: ObjId, ev: Option<AdaptEvent>) {
+        match ev {
+            None => {}
+            Some(AdaptEvent::Demoted) => {
+                ts.stats.bump(Event::AdaptDemotion);
+                self.common.rt.trace(ts.tid, TraceKind::AdaptDemote, o.0 as u64);
+            }
+            Some(AdaptEvent::Promoted) => {
+                ts.stats.bump(Event::AdaptPromotion);
+                self.common.rt.trace(ts.tid, TraceKind::AdaptPromote, o.0 as u64);
+            }
+        }
     }
 
     fn finish_opt_conflict(&self, ts: &mut ThreadState, o: ObjId, mode: CoordMode, write: bool) {
@@ -206,10 +295,14 @@ impl<S: Support> HybridEngine<S> {
     }
 
     /// Contended transition (Figure 2(b)): coordinate with the holder(s) so
-    /// they flush their lock buffers, then the caller retries.
+    /// they flush their lock buffers, then the caller retries. A tripped
+    /// coordination deadline is recorded and simply returns — the caller's
+    /// retry loop re-examines the state either way, and the holder may well
+    /// have flushed in the meantime.
     fn contended_coordinate(&self, ts: &mut ThreadState, o: ObjId, w: StateWord) {
         let rt = self.common.rt.clone();
         let t = ts.tid;
+        let deadline = rt.coord_deadline();
         let fanout = w.kind() == Kind::RdSh;
         // The sources are not recorded here (the caller just retries), but
         // the scratch buffers are still reused so a contended RdSh
@@ -217,23 +310,37 @@ impl<S: Support> HybridEngine<S> {
         let mut sink = std::mem::take(&mut ts.src_scratch);
         let mut pending = std::mem::take(&mut ts.fanout_scratch);
         sink.clear();
-        {
+        let done = {
             let mut respond = self.common.respond_closure(ts);
             if fanout {
                 // Read-locked by unknown threads: conservatively coordinate
                 // with everyone (the state word does not name RdSh holders).
-                coordinate_many(&rt, t, Some(o), &mut respond, &mut sink, &mut pending);
+                coordinate_many_deadline(
+                    &rt,
+                    t,
+                    Some(o),
+                    &mut respond,
+                    &mut sink,
+                    &mut pending,
+                    deadline,
+                )
+                .is_some()
             } else {
-                coordinate_one(&rt, t, w.owner(), Some(o), &mut respond);
+                coordinate_one_deadline(&rt, t, w.owner(), Some(o), &mut respond, deadline)
+                    .is_some()
             }
-        }
-        if fanout {
+        };
+        if fanout && done {
             ts.stats.bump(Event::CoordFanout);
             ts.stats.add(Event::CoordFanoutPeers, sink.len() as u64);
         }
         ts.src_scratch = sink;
         ts.fanout_scratch = pending;
-        ts.stats.bump(Event::CoordinationRoundtrip);
+        if done {
+            ts.stats.bump(Event::CoordinationRoundtrip);
+        } else {
+            self.note_coord_deadline(ts, o);
+        }
     }
 
     fn bump_pess(&self, ts: &mut ThreadState, o: ObjId, conflicting: bool, contended: bool) {
@@ -245,6 +352,12 @@ impl<S: Support> HybridEngine<S> {
         self.common
             .policy
             .on_pess_transition(self.common.rt.obj(o).profile(), conflicting, contended);
+        if let Some(a) = &self.common.adapt {
+            // Constant-cost samples, no clock reads: the pessimistic fast
+            // path must stay tens of nanoseconds (see adapt.rs).
+            let ev = a.record_pess(o.0, conflicting);
+            self.note_adapt_event(ts, o, ev);
+        }
         if self.cfg.eager_unlock {
             self.eager_unlock_now(ts, o);
         }
@@ -346,7 +459,15 @@ impl<S: Support> HybridEngine<S> {
                     continue;
                 }
                 obj.bump_version();
-                let mode = self.conflict_coordinate(ts, o, w);
+                let Some(mode) = self.conflict_coordinate(ts, o, w) else {
+                    // Coordination deadline: restore the pre-claim state and
+                    // retry. The object was force-demoted, so once the stall
+                    // clears (one successful coordination, or the holder
+                    // blocks) it runs the pessimistic protocol.
+                    state.store(cur, Ordering::Release);
+                    obj.bump_version();
+                    continue;
+                };
                 if abortable && self.common.support.should_abort(t) {
                     // Yielded mid-coordination: restore and abort.
                     state.store(cur, Ordering::Release);
@@ -354,9 +475,13 @@ impl<S: Support> HybridEngine<S> {
                     return false;
                 }
                 // Adaptive-policy decision (line 46). Only explicit
-                // coordination counts (§6.2 footnote 7).
-                let to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
+                // coordination counts (§6.2 footnote 7) — evaluated
+                // unconditionally so the conflict histogram stays honest
+                // even when the demotion controller forces the move.
+                let phase_to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
                     && self.common.policy.on_explicit_conflict(obj.profile());
+                let to_pess = phase_to_pess
+                    || self.common.adapt.as_ref().is_some_and(|a| a.is_demoted(o.0));
                 // Support first, then publish (recorder entries must be
                 // visible before the new state is).
                 self.finish_opt_conflict(ts, o, mode, true);
@@ -572,9 +697,16 @@ impl<S: Support> HybridEngine<S> {
                             continue;
                         }
                         obj.bump_version();
-                        let mode = self.conflict_coordinate(ts, o, w);
-                        let to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
+                        let Some(mode) = self.conflict_coordinate(ts, o, w) else {
+                            // Deadline: restore and retry (see write_slow).
+                            state.store(cur, Ordering::Release);
+                            obj.bump_version();
+                            continue;
+                        };
+                        let phase_to_pess = matches!(mode, CoordMode::Explicit | CoordMode::Mixed)
                             && self.common.policy.on_explicit_conflict(obj.profile());
+                        let to_pess = phase_to_pess
+                            || self.common.adapt.as_ref().is_some_and(|a| a.is_demoted(o.0));
                         self.finish_opt_conflict(ts, o, mode, false);
                         if to_pess {
                             state.store(

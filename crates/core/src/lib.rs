@@ -12,7 +12,9 @@
 //!   model (§3.2, Appendix B);
 //! * five [`engine`]s: untracked baseline, pessimistic (§2.1), optimistic
 //!   (Octet, §2.2), hybrid (§3), and the unsound "Ideal" estimate (§7.5);
-//! * the profile-guided [`policy::AdaptivePolicy`] (§6);
+//! * the profile-guided [`policy::AdaptivePolicy`] (§6) and its reversible
+//!   overlay, the online [`adapt::AdaptController`] demotion controller
+//!   (DESIGN.md §13);
 //! * the [`support::Support`] observer interface that the dependence
 //!   recorder (`drink-replay`) and the region-serializability enforcer
 //!   (`drink-rs`) build on;
@@ -48,6 +50,7 @@
 //! assert_eq!(report.accesses(), 400);
 //! ```
 
+pub mod adapt;
 pub mod common;
 pub mod coord;
 pub mod engine;
@@ -59,6 +62,7 @@ pub mod word;
 
 /// The names most users need.
 pub mod prelude {
+    pub use crate::adapt::{AdaptConfig, AdaptController, AdaptEvent};
     pub use crate::engine::hybrid::{HybridConfig, HybridEngine, SelfReadMode};
     pub use crate::engine::ideal::IdealEngine;
     pub use crate::engine::none::NoTracking;

@@ -146,6 +146,7 @@ fn bitmap_counts_match_hashset_reference_model() {
             policy: inert_policy(),
             self_read: SelfReadMode::WrExRLock,
             eager_unlock: false,
+            adapt: None,
         },
     );
     let t = e.attach();

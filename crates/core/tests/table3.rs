@@ -50,6 +50,7 @@ fn engine() -> Engine {
             policy: inert_policy(),
             self_read: SelfReadMode::WrExRLock,
             eager_unlock: false,
+            adapt: None,
         },
     )
 }
@@ -520,6 +521,7 @@ fn prototype_self_read_mode_write_locks() {
             policy: inert_policy(),
             self_read: SelfReadMode::WrExWLock,
             eager_unlock: false,
+            adapt: None,
         },
     );
     let t0 = e.attach();
@@ -543,6 +545,7 @@ fn unsound_self_read_mode_downgrades() {
             policy: inert_policy(),
             self_read: SelfReadMode::RdExRLockUnsound,
             eager_unlock: false,
+            adapt: None,
         },
     );
     let t0 = e.attach();

@@ -26,8 +26,61 @@
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
 
 use crate::ids::ThreadId;
+
+/// Condvar-based parking slot for a thread waiting on coordination — the
+/// last rung of the adaptive backoff ladder (DESIGN.md §13). One thread
+/// parks (the coordination requester); any thread notifies (a responder
+/// completing one of the requester's tokens, or a peer enqueuing a request
+/// *to* the parked thread so it wakes to act as a safe point).
+///
+/// The fast path of `notify` is a single atomic load: when nobody is parked
+/// (the overwhelmingly common case — responders complete tokens against
+/// spinning requesters), no lock is touched. The classic lost-wakeup race
+/// (notify between the parker's last poll and its `parked` publication) is
+/// *tolerated*, not closed: every park is bounded by a timeout the caller
+/// keeps small (≤ ~1 ms), so a lost notify costs one park interval, never a
+/// hang. That is also why `park` never needs a watchdog of its own.
+#[derive(Debug, Default)]
+pub struct Waker {
+    /// Is a thread inside (or committed to entering) `park`?
+    parked: AtomicBool,
+    /// Pending-notify flag, protecting the condvar wait against a notify
+    /// that lands between `parked` publication and the actual wait.
+    state: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    /// Wake the parked thread, if any. Lock-free (one load) when nobody is
+    /// parked.
+    pub fn notify(&self) {
+        if self.parked.load(Ordering::SeqCst) {
+            let mut pending = self.state.lock();
+            *pending = true;
+            self.cv.notify_all();
+        }
+    }
+
+    /// Park the calling thread for at most `timeout`, or until a notify
+    /// arrives. Returns immediately if a notify raced ahead. Only one
+    /// thread may park on a given `Waker` (it is a per-thread slot).
+    pub fn park(&self, timeout: Duration) {
+        self.parked.store(true, Ordering::SeqCst);
+        {
+            let mut pending = self.state.lock();
+            if !*pending {
+                self.cv.wait_for(&mut pending, timeout);
+            }
+            *pending = false;
+        }
+        self.parked.store(false, Ordering::SeqCst);
+    }
+}
 
 /// Decoded value of the status word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,6 +125,10 @@ fn decode(word: u64) -> ThreadStatus {
 pub struct ResponseToken {
     done: AtomicBool,
     responder_clock: AtomicU64,
+    /// The requester's parking slot, set when the requester's backoff ladder
+    /// may escalate to a condvar park: `complete` notifies it so a parked
+    /// requester wakes immediately instead of sleeping out its interval.
+    waker: Option<Arc<Waker>>,
 }
 
 impl ResponseToken {
@@ -80,12 +137,24 @@ impl ResponseToken {
         Arc::new(ResponseToken::default())
     }
 
+    /// Fresh pending token carrying the requester's parking slot, so the
+    /// responder's `complete` wakes a parked requester.
+    pub fn with_waker(waker: Arc<Waker>) -> Arc<Self> {
+        Arc::new(ResponseToken {
+            waker: Some(waker),
+            ..ResponseToken::default()
+        })
+    }
+
     /// Responder side: publish the response. `responder_clock` is the
     /// responder's release clock *after* its responding-safe-point bump.
     pub fn complete(&self, responder_clock: u64) {
         self.responder_clock
             .store(responder_clock, Ordering::Relaxed);
         self.done.store(true, Ordering::Release);
+        if let Some(w) = &self.waker {
+            w.notify();
+        }
     }
 
     /// Requester side: has the responder finished?
@@ -145,6 +214,11 @@ pub struct ThreadControl {
     detached: AtomicBool,
     inbox: AtomicPtr<InboxNode>,
     release_clock: AtomicU64,
+    /// This thread's coordination parking slot (see [`Waker`]): it parks
+    /// here when its fan-out backoff escalates past yielding, and peers
+    /// enqueuing requests to it notify it so a parked thread still acts as
+    /// a (slightly delayed) safe point.
+    waker: Arc<Waker>,
 }
 
 impl Default for ThreadControl {
@@ -162,7 +236,16 @@ impl ThreadControl {
             detached: AtomicBool::new(false),
             inbox: AtomicPtr::new(ptr::null_mut()),
             release_clock: AtomicU64::new(0),
+            waker: Arc::new(Waker::default()),
         }
+    }
+
+    /// This thread's coordination parking slot. The owning thread parks on
+    /// it; responders and requesters notify it through
+    /// [`ResponseToken::with_waker`] / [`ThreadControl::enqueue_request`].
+    #[inline]
+    pub fn waker(&self) -> &Arc<Waker> {
+        &self.waker
     }
 
     // --- Liveness ---
@@ -275,6 +358,10 @@ impl ThreadControl {
             }
         }
         self.has_requests.store(true, Ordering::SeqCst);
+        // Wake the owner if it parked mid-coordination: a parked requester
+        // must still act as a safe point for *this* request (deadlock
+        // freedom). One relaxed-ish load when nobody is parked.
+        self.waker.notify();
     }
 
     /// Owning thread: single relaxed load, the entirety of the safe point
@@ -525,6 +612,75 @@ mod tests {
         }
         // All queue-held Arcs were released by the drop.
         assert_eq!(std::sync::Arc::strong_count(&tok), 1);
+    }
+
+    #[test]
+    fn token_completion_wakes_a_parked_requester() {
+        let waker = Arc::new(Waker::default());
+        let tok = ResponseToken::with_waker(waker.clone());
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let tok2 = tok.clone();
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tok2.complete(7);
+            });
+            // Generous timeout: the notify, not the timeout, should end it.
+            while !tok.is_done() {
+                waker.park(Duration::from_secs(5));
+            }
+        });
+        assert!(tok.is_done());
+        assert_eq!(tok.responder_clock(), 7);
+        assert!(
+            t0.elapsed() < Duration::from_secs(4),
+            "park must be ended by the notify, not the timeout"
+        );
+    }
+
+    #[test]
+    fn park_times_out_without_a_notify() {
+        let waker = Waker::default();
+        let t0 = std::time::Instant::now();
+        waker.park(Duration::from_millis(10));
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn notify_before_park_is_not_lost() {
+        let waker = Waker::default();
+        // Pre-notify while "parked" is being published: simulate the benign
+        // race by setting parked first, then notifying, then parking.
+        waker.parked.store(true, Ordering::SeqCst);
+        waker.notify();
+        let t0 = std::time::Instant::now();
+        waker.park(Duration::from_secs(5));
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "a pending notify must make park return immediately"
+        );
+    }
+
+    #[test]
+    fn enqueue_request_notifies_the_owners_waker() {
+        let c = Arc::new(ThreadControl::new());
+        let t0 = std::time::Instant::now();
+        std::thread::scope(|s| {
+            let c2 = c.clone();
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                c2.enqueue_request(CoordRequest {
+                    from: ThreadId(1),
+                    obj: None,
+                    token: ResponseToken::new(),
+                });
+            });
+            while !c.has_pending_requests() {
+                c.waker().park(Duration::from_secs(5));
+            }
+        });
+        assert_eq!(c.take_requests().len(), 1);
+        assert!(t0.elapsed() < Duration::from_secs(4), "woken by the enqueue");
     }
 
     #[test]

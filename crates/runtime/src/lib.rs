@@ -40,14 +40,14 @@ pub mod spin;
 pub mod stats;
 pub mod trace;
 
-pub use control::{CoordRequest, ResponseToken, ThreadControl, ThreadStatus};
+pub use control::{CoordRequest, ResponseToken, ThreadControl, ThreadStatus, Waker};
 pub use cost::CostModel;
 pub use heap::{Heap, ObjHeader};
 pub use ids::{MonitorId, ObjId, ThreadId};
 pub use monitor::Monitor;
 pub use pad::CachePadded;
 pub use runtime::{Runtime, RuntimeConfig, RuntimeConfigBuilder};
-pub use spin::Spin;
+pub use spin::{Spin, SpinOutcome};
 pub use stats::{Event, GlobalStats, HistogramSnapshot, LatencyKind, LocalStats, StatsReport};
 pub use trace::{RingTraceSink, ThreadTrace, TraceKind, TraceRecord, TraceSink, TraceSnapshot};
 
@@ -119,6 +119,26 @@ pub fn injected_bug(name: &str) -> bool {
         .get_or_init(|| std::env::var("DRINK_INJECT_BUG").ok())
         .as_deref()
         == Some(name)
+}
+
+/// The parameter of the deliberately-injected *fault* `name`, from the
+/// `DRINK_INJECT_FAULT=<name>:<ms>` env var, as a duration. Unlike
+/// [`injected_bug`] (which plants protocol *violations* the oracles must
+/// flag), a fault models a legal-but-hostile environment — e.g.
+/// `stall-responder:<ms>` freezes a victim's responding-safe-point loop so
+/// the coordination-deadline/demotion paths are actually exercised. Only
+/// consulted from `check-invariants` builds.
+pub fn injected_fault(name: &str) -> Option<std::time::Duration> {
+    static CACHE: std::sync::OnceLock<Option<(String, u64)>> = std::sync::OnceLock::new();
+    let parsed = CACHE.get_or_init(|| {
+        let raw = std::env::var("DRINK_INJECT_FAULT").ok()?;
+        let (fault, ms) = raw.split_once(':')?;
+        Some((fault.to_string(), ms.trim().parse::<u64>().ok()?))
+    });
+    match parsed {
+        Some((fault, ms)) if fault == name => Some(std::time::Duration::from_millis(*ms)),
+        _ => None,
+    }
 }
 
 /// Callbacks invoked by the substrate at the program points where a managed

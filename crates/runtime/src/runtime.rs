@@ -29,6 +29,16 @@ pub struct RuntimeConfig {
     /// a RUNNING thread, like a JVM thin lock) before parking. Affects how
     /// often coordination against lock waiters is explicit vs. implicit.
     pub monitor_spin_iters: u32,
+    /// Recoverable deadline for coordination waits (explicit roundtrips and
+    /// fan-outs). Zero (the default) disables it: coordination waits are
+    /// then bounded only by the hard-panic `spin_budget` watchdog. Non-zero
+    /// turns an expired coordination wait into a clean `CoordDeadlineExceeded`
+    /// fallback — the requester abandons the roundtrip, demotes the object
+    /// to the pessimistic protocol, and retries — instead of a process
+    /// panic. Unlike `spin_budget` this is *not* overridden by
+    /// `DRINK_SPIN_BUDGET_MS`: the env var bounds hangs, and a deadline that
+    /// expires cleanly is not a hang.
+    pub coord_deadline: Duration,
     /// Pad each object header to its own 64-byte cache line so neighboring
     /// objects' state-word CASes stop false-sharing. Off by default: the
     /// compact layout is the seed layout the paper-comparison numbers use.
@@ -50,6 +60,7 @@ impl Default for RuntimeConfig {
             monitors: 16,
             spin_budget: crate::spin::DEFAULT_BUDGET,
             monitor_spin_iters: 300,
+            coord_deadline: Duration::ZERO,
             padded_headers: false,
             trace_capacity: 0,
         }
@@ -110,6 +121,13 @@ impl RuntimeConfigBuilder {
     /// Iterations a contended monitor acquire spins before parking.
     pub fn monitor_spin_iters(mut self, iters: u32) -> Self {
         self.config.monitor_spin_iters = iters;
+        self
+    }
+
+    /// Recoverable deadline for coordination waits; zero disables it (the
+    /// default — only the hard-panic watchdog bounds coordination then).
+    pub fn coord_deadline(mut self, deadline: Duration) -> Self {
+        self.config.coord_deadline = deadline;
         self
     }
 
@@ -371,10 +389,38 @@ impl Runtime {
         crate::spin::Spin::with_budget(what, self.config.spin_budget)
     }
 
+    /// The configured coordination deadline, or `None` when disabled. The
+    /// coordination layer consults this to decide between a recoverable
+    /// deadline wait ([`crate::spin::Spin::checked_spin`]) and the
+    /// hard-panic watchdog.
+    #[inline]
+    pub fn coord_deadline(&self) -> Option<Duration> {
+        (!self.config.coord_deadline.is_zero()).then_some(self.config.coord_deadline)
+    }
+
     /// Like [`Runtime::spinner`], but with the registered perturbation layer
     /// (if any) attached so each backoff step of thread `t` can be delayed.
     pub fn spinner_for(&self, t: ThreadId, what: &'static str) -> crate::spin::Spin<'_> {
         let spin = self.spinner(what);
+        match &self.sched {
+            Some(sched) => spin.with_sched(&**sched, t),
+            None => spin,
+        }
+    }
+
+    /// A spinner for a *recoverable* coordination-deadline wait: the exact
+    /// `budget` is used (a `DRINK_SPIN_BUDGET_MS` override bounds hangs, not
+    /// clean deadline expiries), and the perturbation layer (if any) is
+    /// attached. The caller drives it with
+    /// [`crate::spin::Spin::checked_spin`] and handles
+    /// [`crate::spin::SpinOutcome::Expired`] instead of panicking.
+    pub fn deadline_spinner_for(
+        &self,
+        t: ThreadId,
+        what: &'static str,
+        budget: Duration,
+    ) -> crate::spin::Spin<'_> {
+        let spin = crate::spin::Spin::with_exact_budget(what, budget);
         match &self.sched {
             Some(sched) => spin.with_sched(&**sched, t),
             None => spin,
@@ -420,6 +466,7 @@ mod tests {
             .monitors(3)
             .spin_budget(Duration::from_millis(123))
             .monitor_spin_iters(9)
+            .coord_deadline(Duration::from_millis(45))
             .padded_headers(true)
             .trace_capacity(64)
             .build();
@@ -428,6 +475,7 @@ mod tests {
         assert_eq!(built.monitors, 3);
         assert_eq!(built.spin_budget, Duration::from_millis(123));
         assert_eq!(built.monitor_spin_iters, 9);
+        assert_eq!(built.coord_deadline, Duration::from_millis(45));
         assert!(built.padded_headers);
         assert_eq!(built.trace_capacity, 64);
 
@@ -437,6 +485,17 @@ mod tests {
         assert_eq!(legacy.heap_objects, 77);
         assert_eq!(legacy.monitors, 3);
         assert_eq!(legacy.trace_capacity, 0, "sized() keeps tracing off");
+        assert_eq!(legacy.coord_deadline, Duration::ZERO, "deadline off by default");
+    }
+
+    #[test]
+    fn coord_deadline_accessor_treats_zero_as_disabled() {
+        let off = Runtime::new(RuntimeConfig::default());
+        assert_eq!(off.coord_deadline(), None);
+        let on = Runtime::new(
+            RuntimeConfig::builder().coord_deadline(Duration::from_millis(30)).build(),
+        );
+        assert_eq!(on.coord_deadline(), Some(Duration::from_millis(30)));
     }
 
     #[test]

@@ -41,8 +41,27 @@ fn parse_budget_ms(s: &str) -> Option<Duration> {
 /// process silently — the checking harness relies on this to turn injected
 /// protocol bugs into bounded, reportable failures.
 pub fn park_budget(configured: Duration) -> Option<Duration> {
-    let b = env_budget().unwrap_or(configured);
+    park_budget_with(configured, None)
+}
+
+/// [`park_budget`] with a per-wait override: a caller that knows its wait's
+/// expected bound (a coordination deadline, a bounded handoff) passes it as
+/// `per_wait` and it beats the global `configured` default. The
+/// `DRINK_SPIN_BUDGET_MS` env var still beats both — it is the CI-wide hang
+/// bound and must be able to tighten *every* wait in the process at once.
+pub fn park_budget_with(configured: Duration, per_wait: Option<Duration>) -> Option<Duration> {
+    let b = env_budget().unwrap_or(per_wait.unwrap_or(configured));
     (!b.is_zero()).then_some(b)
+}
+
+/// Outcome of one [`Spin::checked_spin`] step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpinOutcome {
+    /// Budget not (yet) exhausted; keep waiting.
+    Progress,
+    /// The budget expired. The caller recovers (coordination deadlines fall
+    /// back to the pessimistic protocol); only [`Spin::spin`] panics.
+    Expired,
 }
 
 /// Exponential-backoff spinner with a deadline watchdog.
@@ -61,6 +80,10 @@ pub struct Spin<'h> {
     budget: Duration,
     iters: u32,
     started: Option<Instant>,
+    /// Set by [`Spin::note_park`]: the wait escalated past spinning to a
+    /// condvar park at least once. Reported by the watchdog panic so a hang
+    /// report says which phase of the backoff ladder the thread died in.
+    parked: bool,
     sched: Option<(&'h dyn SchedHooks, ThreadId)>,
 }
 
@@ -77,12 +100,27 @@ impl<'h> Spin<'h> {
     /// watchdog entirely (spins forever, yielding to the OS after the
     /// `spin_loop` phase). `DRINK_SPIN_BUDGET_MS`, if set, overrides `budget`.
     pub fn with_budget(what: &'static str, budget: Duration) -> Self {
+        Spin::budgeted(what, env_budget().unwrap_or(budget))
+    }
+
+    /// A spinner with an exact budget that `DRINK_SPIN_BUDGET_MS` does *not*
+    /// override. This is for **recoverable** deadlines (coordination waits
+    /// resolved by [`Spin::checked_spin`]): the env var is the CI-wide bound
+    /// on protocol-bug *hangs*, and a recoverable deadline that expires
+    /// cleanly is not a hang — stretching a 50 ms coordination deadline to a
+    /// 10 s CI budget would defeat the degradation path it exists to trigger.
+    pub fn with_exact_budget(what: &'static str, budget: Duration) -> Self {
+        Spin::budgeted(what, budget)
+    }
+
+    fn budgeted(what: &'static str, budget: Duration) -> Self {
         Spin {
             what,
             deadline: None,
-            budget: env_budget().unwrap_or(budget),
+            budget,
             iters: 0,
             started: None,
+            parked: false,
             sched: None,
         }
     }
@@ -115,13 +153,27 @@ impl<'h> Spin<'h> {
     /// every 32nd step.
     #[inline]
     pub fn spin(&mut self) {
+        if self.checked_spin() == SpinOutcome::Expired {
+            self.expire();
+        }
+    }
+
+    /// [`Spin::spin`]'s backoff step, but budget expiry returns
+    /// [`SpinOutcome::Expired`] instead of panicking. Coordination waits with
+    /// a configured deadline use this and fall back to the pessimistic
+    /// protocol on expiry; the hard-panic [`Spin::spin`] stays for waits
+    /// where expiry can only mean a protocol bug (replay waits, lock-buffer
+    /// flush waits). After an expiry the spinner keeps reporting `Expired`
+    /// on (every 32nd) subsequent step — callers are expected to stop.
+    #[inline]
+    pub fn checked_spin(&mut self) -> SpinOutcome {
         self.iters += 1;
         if let Some((sched, t)) = self.sched {
             sched.perturb(t, SchedPoint::SpinBackoff);
         }
         if self.iters < 16 {
             core::hint::spin_loop();
-            return;
+            return SpinOutcome::Progress;
         }
         if self.iters < 128 {
             // Batched-hint phase: 2, 2, …, 4, …, 64 hints per step.
@@ -129,13 +181,13 @@ impl<'h> Spin<'h> {
             for _ in 0..batch {
                 core::hint::spin_loop();
             }
-            return;
+            return SpinOutcome::Progress;
         }
         if self.budget.is_zero() {
             // Watchdog disabled: never read the clock, but still escalate
             // from spin_loop to yielding so the waited-for thread can run.
             std::thread::yield_now();
-            return;
+            return SpinOutcome::Progress;
         }
         // Arm the watchdog on the first long-wait step; afterwards the
         // deadline is only re-checked every 32nd step (a yield costs ~1 µs,
@@ -151,17 +203,43 @@ impl<'h> Spin<'h> {
                 d
             }
         };
-        if self.iters % 32 == 0 {
-            let now = Instant::now();
-            if now >= deadline {
-                panic!(
-                    "spin watchdog expired after {:?} while waiting for: {}",
-                    self.started.map(|s| now - s).unwrap_or_default(),
-                    self.what
-                );
-            }
+        if self.iters % 32 == 0 && Instant::now() >= deadline {
+            return SpinOutcome::Expired;
         }
         std::thread::yield_now();
+        SpinOutcome::Progress
+    }
+
+    /// The watchdog panic, with enough forensics to tell a protocol hang
+    /// from an overloaded host: backoff steps taken, elapsed wall time vs
+    /// the configured budget, and whether the wait ever escalated to a
+    /// condvar park.
+    #[cold]
+    fn expire(&self) -> ! {
+        let elapsed = self
+            .started
+            .map(|s| Instant::now() - s)
+            .unwrap_or_default();
+        panic!(
+            "spin watchdog expired after {:?} (budget {:?}, {} backoff steps, park phase {}) \
+             while waiting for: {}",
+            elapsed,
+            self.budget,
+            self.iters,
+            if self.parked { "reached" } else { "not reached" },
+            self.what
+        );
+    }
+
+    /// Record that the wait escalated to a condvar park (the adaptive
+    /// backoff ladder's last rung). Only affects the watchdog's forensics.
+    pub fn note_park(&mut self) {
+        self.parked = true;
+    }
+
+    /// Has the wait escalated to a condvar park at least once?
+    pub fn park_phase_reached(&self) -> bool {
+        self.parked
     }
 
     /// Number of backoff steps taken so far.
@@ -220,6 +298,61 @@ mod tests {
             s.deadline.is_none() && s.started.is_none(),
             "hint phases must not read the clock"
         );
+    }
+
+    #[test]
+    fn checked_spin_reports_expiry_instead_of_panicking() {
+        let mut s = Spin::with_exact_budget("recoverable wait", Duration::from_millis(10));
+        let mut steps = 0u32;
+        loop {
+            steps += 1;
+            if s.checked_spin() == SpinOutcome::Expired {
+                break;
+            }
+            assert!(steps < 50_000_000, "watchdog never expired");
+        }
+        assert!(steps >= 128, "expiry can only happen in the yield phase");
+        // The spinner is still usable for forensics after expiry.
+        assert_eq!(s.iterations(), steps);
+    }
+
+    #[test]
+    fn watchdog_panic_reports_steps_budget_and_park_phase() {
+        let result = std::panic::catch_unwind(|| {
+            let mut s = Spin::with_exact_budget("forensic wait", Duration::from_millis(10));
+            s.note_park();
+            loop {
+                s.spin();
+            }
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("budget 10ms"), "budget missing: {msg}");
+        assert!(msg.contains("backoff steps"), "step count missing: {msg}");
+        assert!(msg.contains("park phase reached"), "park flag missing: {msg}");
+        assert!(msg.contains("forensic wait"), "what missing: {msg}");
+    }
+
+    #[test]
+    fn park_phase_flag_defaults_off_and_latches() {
+        let mut s = Spin::new("park flag");
+        assert!(!s.park_phase_reached());
+        s.note_park();
+        assert!(s.park_phase_reached());
+    }
+
+    #[test]
+    fn per_wait_override_beats_configured_default() {
+        // No DRINK_SPIN_BUDGET_MS in the test environment, so the per-wait
+        // override is the effective budget; zero still disables the watchdog.
+        assert_eq!(
+            park_budget_with(Duration::from_secs(60), Some(Duration::from_millis(5))),
+            Some(Duration::from_millis(5))
+        );
+        assert_eq!(
+            park_budget_with(Duration::from_secs(60), None),
+            Some(Duration::from_secs(60))
+        );
+        assert_eq!(park_budget_with(Duration::ZERO, Some(Duration::ZERO)), None);
     }
 
     #[test]

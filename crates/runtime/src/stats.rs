@@ -124,11 +124,23 @@ pub enum Event {
     /// A seqlock read that exhausted its retries and fell back to the
     /// engine's coordinated slow path.
     SeqlockFallback,
+
+    // --- Degradation ladder (DESIGN.md §13) ---
+    /// A coordination wait hit the configured `coord_deadline` and the
+    /// requester abandoned the roundtrip, falling back to the pessimistic
+    /// protocol for that object instead of spinning on.
+    CoordDeadlineExceeded,
+    /// The online controller demoted an object shard opt→pess (observed
+    /// coordination cost crossed the hysteresis band's upper edge).
+    AdaptDemotion,
+    /// The online controller re-promoted an object shard pess→opt after its
+    /// cooldown (observed coordination cost fell below the band's lower edge).
+    AdaptPromotion,
 }
 
 impl Event {
     /// Number of event kinds (length of the counter arrays).
-    pub const COUNT: usize = Event::SeqlockFallback as usize + 1;
+    pub const COUNT: usize = Event::AdaptPromotion as usize + 1;
 
     /// Compile-time proof backing the unchecked indexing in
     /// [`LocalStats::bump`]: discriminants are the dense range `0..COUNT`.
@@ -175,6 +187,9 @@ impl Event {
         Event::SeqlockValidated,
         Event::SeqlockRetry,
         Event::SeqlockFallback,
+        Event::CoordDeadlineExceeded,
+        Event::AdaptDemotion,
+        Event::AdaptPromotion,
     ];
 
     /// Stable human-readable name (used by the bench harnesses' reports).
@@ -213,6 +228,9 @@ impl Event {
             Event::SeqlockValidated => "seqlock.validated",
             Event::SeqlockRetry => "seqlock.retry",
             Event::SeqlockFallback => "seqlock.fallback",
+            Event::CoordDeadlineExceeded => "coord.deadline_exceeded",
+            Event::AdaptDemotion => "adapt.demotion",
+            Event::AdaptPromotion => "adapt.promotion",
         }
     }
 }

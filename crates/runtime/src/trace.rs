@@ -99,11 +99,21 @@ pub enum TraceKind {
     /// Seqlock read exhausted its retries and fell back to the coordinated
     /// read path (arg = object id).
     SeqlockFallback,
+    /// A coordination wait hit its recoverable deadline and the requester
+    /// fell back to the pessimistic protocol (arg = object id, or the remote
+    /// thread id for objectless waits).
+    CoordDeadline,
+    /// The online controller demoted an object shard opt→pess
+    /// (arg = shard index).
+    AdaptDemote,
+    /// The online controller re-promoted an object shard pess→opt after its
+    /// cooldown (arg = shard index).
+    AdaptPromote,
 }
 
 impl TraceKind {
     /// Number of kinds; also the length of [`TraceKind::ALL`].
-    pub const COUNT: usize = 24;
+    pub const COUNT: usize = 27;
 
     /// Every kind, in discriminant order (`ALL[k as usize] == k`).
     pub const ALL: [TraceKind; TraceKind::COUNT] = [
@@ -131,6 +141,9 @@ impl TraceKind {
         TraceKind::MonitorWait,
         TraceKind::SeqlockRead,
         TraceKind::SeqlockFallback,
+        TraceKind::CoordDeadline,
+        TraceKind::AdaptDemote,
+        TraceKind::AdaptPromote,
     ];
 
     /// Short dotted name, matching the [`crate::stats::Event`] convention.
@@ -160,6 +173,9 @@ impl TraceKind {
             TraceKind::MonitorWait => "monitor.wait",
             TraceKind::SeqlockRead => "seqlock.read",
             TraceKind::SeqlockFallback => "seqlock.fallback",
+            TraceKind::CoordDeadline => "coord.deadline",
+            TraceKind::AdaptDemote => "adapt.demote",
+            TraceKind::AdaptPromote => "adapt.promote",
         }
     }
 

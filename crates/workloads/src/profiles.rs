@@ -84,6 +84,8 @@ fn base(name: &str, steps: usize) -> WorkloadSpec {
         seed: 0xD1CE,
         yield_every: 0,
         monitor_spin: None,
+        coord_deadline_ms: None,
+        phase_every: 0,
     }
 }
 

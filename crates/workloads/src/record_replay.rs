@@ -42,7 +42,12 @@ pub fn record(kind: RecorderKind, spec: &WorkloadSpec) -> RecordOutcome {
     let recorder = Recorder::for_runtime(&rt, kind.name());
     let run = match kind {
         RecorderKind::Optimistic => {
-            let engine = OptimisticEngine::with_support(rt, recorder.clone());
+            // Controller disabled: this recorder's identity is that *every*
+            // cross-thread edge is coordination-derived. Letting the demotion
+            // controller (DESIGN.md §13) turn hot objects pessimistic would
+            // silently mix in release-clock edges and make the recorded log's
+            // shape depend on host load.
+            let engine = OptimisticEngine::with_adapt(rt, recorder.clone(), None);
             run_workload(&engine, spec)
         }
         RecorderKind::Hybrid => {

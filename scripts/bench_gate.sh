@@ -43,21 +43,14 @@ run_and_compare() {
     mv "$tmp" "$out"
 }
 
-# The tracing-on row is advisory: ring-buffer stores on the hot path are an
-# expected, opt-in cost (DESIGN.md §11). The tracing-off row stays gated —
-# it is the evidence the disabled trace valve costs one predicted branch.
-run_and_compare hotpath "$HOTPATH_OUT" --advisory trace_on_
-# The always-optimistic rows stay ADVISORY. PR 6 re-measured them 5 runs in
-# a row to decide whether to gate them: t2 spanned 8.7-9.6us, t4 4.3-14.4us,
-# and t8 278ns-16.9us — still bimodal, so the flip-to-gated condition (stable
-# across 5 consecutive runs) is not met. Diagnosis (the contention binary now
-# prints FanoutComplete p50/p99 per row as evidence): on this 1-core host an
-# explicit all-peer roundtrip is scheduler-rotation-bound — the requester
-# must wait for every RUNNING peer to get a quantum — while runs whose peers
-# happen to be parked at safepoints resolve implicitly and come in ~50x
-# faster. The spread is host scheduling, not an engine regression; the new
-# seqlock rows (rdsh_read_mostly_*) are coordination-free by construction,
-# stable at ~11ns, and ARE gated (DESIGN.md §10, §12).
-run_and_compare contention "$CONTENTION_OUT" --advisory opt_access_
+# Advisory status lives in the reports themselves (schema v3): each bench
+# binary marks its known-unstable rows (e.g. trace_on_opt_write) at the
+# emission site, and `bench_compare` refuses (exit 2) if a previously-gated
+# baseline row arrives marked advisory. The opt_access_*/adapt_access_* rows
+# that PR 6 kept advisory (bimodal 278ns-16.9us under coordination storms)
+# are gated since the online demotion controller (DESIGN.md §13) collapsed
+# them to stable near-pessimistic values.
+run_and_compare hotpath "$HOTPATH_OUT"
+run_and_compare contention "$CONTENTION_OUT"
 
 echo "=== bench_gate: OK"

@@ -21,6 +21,20 @@
 #      `--reproduce` on the saved artifact must fail again — proving the
 #      seed+trace actually pins the failure. A canary that passes means
 #      the harness has gone blind, and the gate fails.
+#   4. Stall-responder fault legs (DRINK_INJECT_FAULT=stall-responder:<ms>,
+#      DESIGN.md s13). Unlike an injected *bug*, the fault is a
+#      legal-but-hostile environment: a victim's responding-safe-point loop
+#      freezes for <ms> whenever it has pending coordination requests.
+#        - Degradation leg: a 200 ms stall — longer than chaosAdapt's 150 ms
+#          coordination deadline — against one full matrix seed. The run
+#          must PASS: deadlines fire, the controller force-demotes the
+#          stalled objects to the pessimistic protocol (which needs no
+#          responder), and every oracle still agrees. A hang or oracle
+#          failure here means the degradation ladder is broken.
+#        - Catch leg: a 4 s stall with a 3 s spin budget and no deadline
+#          relief on most workloads. The watchdog must CATCH the wedged
+#          roundtrip (nonzero exit, artifact), and `--reproduce` under the
+#          same fault must fail again.
 #
 # The canary leg tightens DRINK_SPIN_BUDGET_MS so deliberate protocol
 # wedges fail in seconds; `--fail-fast` stops at the first caught cell
@@ -95,4 +109,38 @@ if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-version-bump \
   exit 1
 fi
 
-echo "=== check_gate: OK (both bugs caught, artifacts reproduce)"
+echo "=== check_gate: stall-responder degradation leg (200ms stall, must pass)"
+if ! DRINK_INJECT_FAULT=stall-responder:200 \
+    "$SMOKE" --seeds 0x1 --artifact-dir "$ARTIFACTS/stall-degrade"; then
+  echo "check_gate: FAIL — matrix does not survive a 200ms responder stall" >&2
+  echo "            (deadline/demotion ladder broken: see DESIGN.md s13)" >&2
+  exit 1
+fi
+
+echo "=== check_gate: stall-responder catch leg (4s stall vs 3s budget, must be caught)"
+rm -rf "$ARTIFACTS/stall-canary"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_FAULT=stall-responder:4000 \
+    "$SMOKE" --seeds 0x1 --fail-fast --artifact-dir "$ARTIFACTS/stall-canary"; then
+  echo "check_gate: FAIL — 4s responder stall was NOT caught (watchdog blind)" >&2
+  exit 1
+fi
+
+stall_artifact="$(ls "$ARTIFACTS"/stall-canary/*.json 2>/dev/null | head -n1 || true)"
+if [ -z "$stall_artifact" ]; then
+  echo "check_gate: FAIL — stall canary failed but wrote no artifact" >&2
+  exit 1
+fi
+
+if ! grep -q '"events"' "$stall_artifact"; then
+  echo "check_gate: FAIL — stall canary artifact has no embedded event timelines" >&2
+  exit 1
+fi
+
+echo "=== check_gate: reproduce stall canary artifact ($stall_artifact)"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_FAULT=stall-responder:4000 \
+    "$SMOKE" --reproduce "$stall_artifact"; then
+  echo "check_gate: FAIL — stall canary artifact did not reproduce" >&2
+  exit 1
+fi
+
+echo "=== check_gate: OK (bugs and stall caught, artifacts reproduce, ladder degrades gracefully)"
