@@ -3,7 +3,7 @@
 //! JSON and fails if any row's median regresses beyond the threshold.
 //!
 //! ```bash
-//! bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]...
+//! bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]... [--scaling PREFIX:RATIO]...
 //! ```
 //!
 //! Rows are matched by name. A fresh-only row is reported but never fails
@@ -21,6 +21,18 @@
 //! silently un-gating a previously-gated row would blind the gate exactly
 //! like dropping the row would, so the demotion must land together with a
 //! regenerated baseline.
+//!
+//! `--scaling PREFIX:RATIO` (repeatable) gates a **scaling curve** in the
+//! *fresh* report: the gated rows named `PREFIX<digits>` with a nonzero
+//! `threads` field (schema v4), ordered by thread count. For every
+//! consecutive doubling (t = k → t = 2k) the ratio
+//! `ns_per_op(2k) / ns_per_op(k)` must stay ≤ RATIO, or the gate fails
+//! (exit 1). Unlike the baseline comparison — which catches drift across
+//! commits — the scaling check is an absolute property of this run: a
+//! fan-out whose latency doubles with registered threads regresses against
+//! *physics* even if it matches yesterday's equally-bad baseline. A
+//! `--scaling` prefix matching fewer than two curve points is a usage error
+//! (exit 2): the curve the operator asked to gate does not exist.
 //! Exit status: 0 clean, 1 regression, 2 usage/IO error.
 
 use drink_bench::report::Report;
@@ -39,6 +51,25 @@ fn main() {
         .filter(|(_, a)| *a == "--advisory")
         .filter_map(|(i, _)| args.get(i + 1))
         .collect();
+    // `--scaling PREFIX:RATIO`, repeatable. Parsed strictly: a malformed
+    // spec is a usage error, not a silently-skipped gate.
+    let scaling: Vec<(String, f64)> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| *a == "--scaling")
+        .filter_map(|(i, _)| args.get(i + 1))
+        .map(|spec| {
+            let Some((prefix, ratio)) = spec.rsplit_once(':') else {
+                eprintln!("bench_compare: --scaling wants PREFIX:RATIO, got `{spec}`");
+                std::process::exit(2);
+            };
+            let Ok(ratio) = ratio.parse::<f64>() else {
+                eprintln!("bench_compare: bad --scaling ratio in `{spec}`");
+                std::process::exit(2);
+            };
+            (prefix.to_string(), ratio)
+        })
+        .collect();
     let positional: Vec<&String> = {
         let mut skip = false;
         args.iter()
@@ -47,7 +78,7 @@ fn main() {
                     skip = false;
                     return false;
                 }
-                if *a == "--threshold" || *a == "--advisory" {
+                if *a == "--threshold" || *a == "--advisory" || *a == "--scaling" {
                     skip = true;
                     return false;
                 }
@@ -57,7 +88,8 @@ fn main() {
     };
     let [base_path, fresh_path] = positional.as_slice() else {
         eprintln!(
-            "usage: bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]..."
+            "usage: bench_compare <baseline.json> <fresh.json> [--threshold PCT] \
+             [--advisory PREFIX]... [--scaling PREFIX:RATIO]..."
         );
         std::process::exit(2);
     };
@@ -135,9 +167,56 @@ fn main() {
         std::process::exit(2);
     }
 
+    // Scaling curves: an absolute property of the fresh report, checked
+    // after (and independently of) the baseline drift comparison.
+    for (prefix, budget) in &scaling {
+        // Curve points: gated `PREFIX<digits>` rows with a thread width.
+        // The digits-only rule keeps sibling curves apart —
+        // `rdsh_conflict_fanout_` must not swallow
+        // `rdsh_conflict_fanout_skip_64` or `..._fanout_seq_8`.
+        let mut curve: Vec<_> = fresh
+            .rows
+            .iter()
+            .filter(|r| {
+                !r.advisory
+                    && r.threads > 0
+                    && r.name
+                        .strip_prefix(prefix.as_str())
+                        .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+            })
+            .collect();
+        curve.sort_by_key(|r| r.threads);
+        if curve.len() < 2 {
+            eprintln!(
+                "bench_compare: --scaling {prefix} matched {} curve point(s); \
+                 a scaling gate needs at least two thread widths",
+                curve.len()
+            );
+            std::process::exit(2);
+        }
+        for pair in curve.windows(2) {
+            let (lo, hi) = (pair[0], pair[1]);
+            if hi.threads != lo.threads * 2 {
+                continue; // only doubling steps carry a ratio budget
+            }
+            let ratio = if lo.ns_per_op > 0.0 { hi.ns_per_op / lo.ns_per_op } else { 0.0 };
+            let verdict = if ratio <= *budget {
+                "ok"
+            } else {
+                regressions += 1;
+                "SCALING REGRESSED"
+            };
+            println!(
+                "{:<28} t{}→t{}  {:>10.2} -> {:>10.2} ns/op  {:>5.2}x (budget {budget}x)  {verdict}",
+                prefix, lo.threads, hi.threads, lo.ns_per_op, hi.ns_per_op, ratio
+            );
+        }
+    }
+
     if regressions > 0 {
         eprintln!(
-            "bench_compare: {regressions} row(s) regressed more than {threshold}% vs {base_path}"
+            "bench_compare: {regressions} row(s) regressed more than {threshold}% vs {base_path} \
+             or blew a --scaling ratio budget"
         );
         std::process::exit(1);
     }

@@ -48,6 +48,7 @@ fn spec(scale: f64) -> WorkloadSpec {
         monitor_spin: None,
         coord_deadline_ms: None,
         phase_every: 0,
+        shards: None,
     }
 }
 

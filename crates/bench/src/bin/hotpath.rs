@@ -48,8 +48,10 @@ fn measure(name: &str, iters: u64, mut f: impl FnMut()) -> Row {
         iters,
         ns_per_op: ns,
         // Advisory rows (report-only, never gated) declare themselves at
-        // the emission site: see `trace_overhead`.
+        // the emission site: see `trace_overhead`. Scaling-curve rows set
+        // `threads` at theirs: see `fanout_snapshot`.
         advisory: false,
+        threads: 0,
     }
 }
 
@@ -193,6 +195,82 @@ fn explicit_roundtrip(rows: &mut Vec<Row>) {
     });
 }
 
+/// Layer 3c: the fan-out *snapshot pass* in isolation, across the sharded
+/// substrate's thread widths (DESIGN.md §14). Two curves, both measured on a
+/// single OS thread so the numbers are pure protocol cost, not scheduling:
+///
+/// * `fanout_snapshot_blocked_tN` — `obj = None` against N−1 blocked peers:
+///   one status load + implicit epoch CAS per peer, so the row grows
+///   linearly in the registered-thread count. This is the per-conflict cost
+///   floor an *unsharded* RdSh conflict pays no matter how few threads
+///   share the object.
+/// * `fanout_snapshot_skip_tN` — a per-thread-sharded runtime
+///   (`shards(N)`) where no peer's shard ever stamped the object: the
+///   snapshot is one epoch load per peer and resolves vacuously, no status
+///   word touched, no CAS, no source. The pair is the measured statement of
+///   §14's cost model: what epoch skipping deletes from the fan-out.
+fn fanout_snapshot(rows: &mut Vec<Row>) {
+    const N: u64 = 200_000;
+    for n in [8usize, 16, 32, 64] {
+        // Blocked curve: unsharded (shards(1) keeps the epoch machinery
+        // inert even at max_threads > 15, isolating the status-word cost).
+        let rt = Runtime::new(RuntimeConfig::builder()
+            .max_threads(n)
+            .shards(1)
+            .heap_objects(64)
+            .monitors(1)
+            .build());
+        let me = rt.register_thread();
+        for _ in 1..n {
+            let peer = rt.register_thread();
+            rt.control(peer).bump_release_clock();
+            rt.control(peer).publish_blocked();
+        }
+        let mut sources = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n);
+        let mut row = measure(&format!("fanout_snapshot_blocked_t{n}"), N, || {
+            for _ in 0..N {
+                sources.clear();
+                black_box(drink_core::coord::coordinate_many(
+                    &rt, me, None, &mut || {}, &mut sources, &mut pending,
+                ));
+            }
+        });
+        assert_eq!(sources.len(), n - 1, "every blocked peer resolved implicitly");
+        row.threads = n as u64;
+        rows.push(row);
+
+        // Skip curve: per-thread shards, object stamped by nobody's shard
+        // but the requester's own — the snapshot proves every peer vacuous
+        // from the epoch table alone.
+        let rt = Runtime::new(RuntimeConfig::builder()
+            .max_threads(n)
+            .shards(n)
+            .heap_objects(64)
+            .monitors(1)
+            .build());
+        let me = rt.register_thread();
+        for _ in 1..n {
+            rt.register_thread();
+        }
+        let obj = ObjId(3);
+        rt.stamp_access(me, obj);
+        let mut sources: Vec<(ThreadId, u64)> = Vec::with_capacity(n);
+        let mut pending = Vec::with_capacity(n);
+        let mut row = measure(&format!("fanout_snapshot_skip_t{n}"), N, || {
+            for _ in 0..N {
+                sources.clear();
+                black_box(drink_core::coord::coordinate_many(
+                    &rt, me, Some(obj), &mut || {}, &mut sources, &mut pending,
+                ));
+            }
+        });
+        assert!(sources.is_empty(), "a skipped fan-out must resolve no sources");
+        row.threads = n as u64;
+        rows.push(row);
+    }
+}
+
 /// Layer 2b: header addressing under both heap layouts — the branch-free
 /// base + stride computation behind every tracked access.
 fn heap_layouts(rows: &mut Vec<Row>) {
@@ -259,6 +337,7 @@ fn main() {
     reentrant_pess(&mut rows);
     queue_raw(&mut rows);
     explicit_roundtrip(&mut rows);
+    fanout_snapshot(&mut rows);
     heap_layouts(&mut rows);
     trace_overhead(&mut rows);
 

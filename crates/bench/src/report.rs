@@ -13,7 +13,11 @@ use serde::{Deserialize, Serialize};
 /// Version of the on-disk report layout. Bump whenever a field is added,
 /// removed, or reinterpreted; checked-in `BENCH_*.json` baselines must be
 /// regenerated in the same commit.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the per-row `threads` field carrying the registered-thread
+/// count of scaling-curve rows, so `bench_compare --scaling` can check
+/// ns/op growth across thread doublings without parsing row names.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One measured bench row: fixed iteration count, best-of-trials ns/op.
 ///
@@ -30,12 +34,18 @@ pub struct Row {
     pub iters: u64,
     pub ns_per_op: f64,
     pub advisory: bool,
+    /// Registered-thread count for scaling-curve rows; `0` for rows whose
+    /// measurement is not parameterized by thread width. Rows of the same
+    /// name prefix with increasing `threads` form the curve
+    /// `bench_compare --scaling` checks doubling ratios on.
+    pub threads: u64,
 }
 
 // Hand-written (de)serialization: the workspace serde shim's derive macro
-// supports no `#[serde(...)]` attributes, and `advisory` must parse as
-// `false` when absent so pre-v3 baselines (which lack the field) load as
-// fully gated rather than failing or — worse — silently un-gated.
+// supports no `#[serde(...)]` attributes, and `advisory`/`threads` must
+// parse as `false`/`0` when absent so pre-v3/v4 baselines (which lack the
+// fields) load as fully gated, unparameterized rows rather than failing
+// or — worse — silently un-gated.
 impl Serialize for Row {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![
@@ -43,6 +53,7 @@ impl Serialize for Row {
             ("iters".to_string(), self.iters.to_value()),
             ("ns_per_op".to_string(), self.ns_per_op.to_value()),
             ("advisory".to_string(), self.advisory.to_value()),
+            ("threads".to_string(), self.threads.to_value()),
         ])
     }
 }
@@ -59,6 +70,10 @@ impl Deserialize for Row {
             advisory: match m.iter().find(|(k, _)| k == "advisory") {
                 Some((_, val)) => Deserialize::from_value(val)?,
                 None => false,
+            },
+            threads: match m.iter().find(|(k, _)| k == "threads") {
+                Some((_, val)) => Deserialize::from_value(val)?,
+                None => 0,
             },
         })
     }
@@ -87,12 +102,18 @@ impl Report {
 
     /// Record one gated row.
     pub fn push(&mut self, name: String, iters: u64, ns_per_op: f64) {
-        self.rows.push(Row { name, iters, ns_per_op, advisory: false });
+        self.rows.push(Row { name, iters, ns_per_op, advisory: false, threads: 0 });
     }
 
     /// Record one advisory (report-only, never gated) row.
     pub fn push_advisory(&mut self, name: String, iters: u64, ns_per_op: f64) {
-        self.rows.push(Row { name, iters, ns_per_op, advisory: true });
+        self.rows.push(Row { name, iters, ns_per_op, advisory: true, threads: 0 });
+    }
+
+    /// Record one gated row parameterized by thread width (a scaling-curve
+    /// point for `bench_compare --scaling`).
+    pub fn push_threaded(&mut self, name: String, iters: u64, ns_per_op: f64, threads: u64) {
+        self.rows.push(Row { name, iters, ns_per_op, advisory: false, threads });
     }
 
     /// Parse a report, rejecting schema-version mismatches with a message
@@ -172,9 +193,24 @@ mod tests {
         let mut r = Report::new("drink-bench/test");
         r.push("row_a".into(), 100, 12.5);
         r.push("row_b".into(), 200, 0.75);
+        r.push_threaded("row_t16".into(), 50, 900.0, 16);
         let json = serde_json::to_string_pretty(&r).unwrap();
         let back = Report::parse(&json).unwrap();
         assert_eq!(back, r);
+        assert_eq!(back.rows[2].threads, 16);
+    }
+
+    #[test]
+    fn threads_defaults_to_zero_when_absent() {
+        // Rows written before v4 carry no `threads` key; they must load as
+        // unparameterized (threads == 0), never participating in scaling
+        // checks, rather than failing to parse.
+        let json = format!(
+            r#"{{"schema":"drink-bench/test","schema_version":{SCHEMA_VERSION},
+                 "rows":[{{"name":"r","iters":10,"ns_per_op":1.0,"advisory":false}}]}}"#
+        );
+        let r = Report::parse(&json).unwrap();
+        assert_eq!(r.rows[0].threads, 0);
     }
 
     #[test]

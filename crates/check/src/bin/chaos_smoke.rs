@@ -1,13 +1,15 @@
 //! The chaos smoke matrix: the fixed-seed schedule-exploration run CI
 //! executes (`scripts/check_gate.sh`).
 //!
-//! Default matrix: 3 tracking engines × 4 seeds × 5 perturbation-heavy
+//! Default matrix: 3 tracking engines × 4 seeds × 6 perturbation-heavy
 //! workloads (`chaosMix`, `chaosHandoff`, `chaosRdsh`, `chaosReadMostly`,
-//! `chaosAdapt`), plus — per seed — the differential oracle on the
-//! schedule-independent `chaosDisjoint` spec, the seqlock read oracle on
-//! `chaosReadMostly`, the degradation-ladder oracle on `chaosAdapt` (static
-//! matrix + adaptive engine agree while the online controller performs real
-//! demotions), the record→replay oracle, and the region-serializability
+//! `chaosAdapt`, the 16-thread sharded `chaosShard`), plus — per seed — the
+//! differential oracle on the schedule-independent `chaosDisjoint` spec, the
+//! seqlock read oracle on `chaosReadMostly`, the degradation-ladder oracle
+//! on `chaosAdapt` (static matrix + adaptive engine agree while the online
+//! controller performs real demotions), the shard-skip oracle on
+//! `chaosShard` (epoch stamps match the spec's implied access footprint
+//! exactly), the record→replay oracle, and the region-serializability
 //! oracle. One
 //! seed determines both the workload's op streams and the chaos decision
 //! streams, so a failing cell is named by (workload, engine, seed) alone.
@@ -24,11 +26,12 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use drink_check::{
-    adapt_check, differential_check, read_mostly_check, replay_check, rs_check, run_cell, shrink,
-    FailureArtifact, MATRIX_ENGINES,
+    adapt_check, differential_check, read_mostly_check, replay_check, rs_check, run_cell,
+    shard_check, shrink, FailureArtifact, MATRIX_ENGINES,
 };
 use drink_workloads::{
     chaos_adapt, chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh, chaos_read_mostly,
+    chaos_shard,
 };
 
 const DEFAULT_SEEDS: [u64; 4] = [0x1, 0x2, 0xC0FFEE, 0xDECAF_BAD];
@@ -118,6 +121,7 @@ fn main() -> ExitCode {
             chaos_rdsh(seed),
             chaos_read_mostly(seed),
             chaos_adapt(seed),
+            chaos_shard(seed),
         ] {
             for kind in MATRIX_ENGINES {
                 match run_cell(kind, &spec, seed) {
@@ -180,6 +184,14 @@ fn run_oracles(seed: u64, artifact_dir: &std::path::Path) -> u32 {
     let adapt = chaos_adapt(seed);
     match adapt_check(&adapt, seed) {
         Ok(()) => println!("PASS {:<13} degradation-ladder oracle    seed={seed:#x}", adapt.name),
+        Err(artifact) => {
+            failures += 1;
+            report_failure(artifact, artifact_dir);
+        }
+    }
+    let shard = chaos_shard(seed);
+    match shard_check(&shard, seed) {
+        Ok(()) => println!("PASS {:<13} shard-skip oracle            seed={seed:#x}", shard.name),
         Err(artifact) => {
             failures += 1;
             report_failure(artifact, artifact_dir);

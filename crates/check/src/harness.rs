@@ -167,8 +167,18 @@ pub fn run_cell(kind: EngineKind, spec: &WorkloadSpec, seed: u64) -> Result<Cell
 
 /// Re-run an artifact's cell in generate mode from its seed — the primary
 /// reproduction path (`chaos_smoke --reproduce`). Returns `Err` with the
-/// fresh failure if it reproduces.
+/// fresh failure if it reproduces. Shard-skip oracle artifacts (engine label
+/// [`oracle::SHARD_ORACLE_ENGINE`]) describe a property of the whole sharded
+/// matrix rather than one engine's panic, so they re-run the oracle itself.
 pub fn reproduce(artifact: &FailureArtifact) -> Result<RunResult, String> {
+    if artifact.engine == oracle::SHARD_ORACLE_ENGINE {
+        return match oracle::shard_check(&artifact.spec, artifact.seed) {
+            Ok(()) => run_cell(EngineKind::Hybrid, &artifact.spec, artifact.seed)
+                .map(|cell| cell.run)
+                .map_err(|a| a.failure),
+            Err(a) => Err(a.failure),
+        };
+    }
     let kind = kind_from_label(&artifact.engine)
         .ok_or_else(|| format!("unknown engine label `{}`", artifact.engine))?;
     let chaos = Arc::new(ChaosSched::new(artifact.seed, artifact.spec.threads));

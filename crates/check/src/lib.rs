@@ -31,6 +31,6 @@ pub use artifact::FailureArtifact;
 pub use chaos::{ChaosSched, Decision, TraceStep};
 pub use harness::{kind_from_label, reproduce, run_cell, shrink, CellRun, MATRIX_ENGINES};
 pub use oracle::{
-    adapt_check, check_quiescent, differential_check, read_mostly_check, replay_check, rs_check,
-    schedule_independent,
+    adapt_check, check_quiescent, differential_check, expected_stamps, read_mostly_check,
+    replay_check, rs_check, schedule_independent, shard_check, SHARD_ORACLE_ENGINE,
 };

@@ -70,7 +70,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use drink_runtime::CachePadded;
+use drink_runtime::{CachePadded, ShardMap};
 
 /// Tuning parameters of the demotion controller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -156,7 +156,12 @@ struct Shard {
 pub struct AdaptController {
     cfg: AdaptConfig,
     shards: Box<[CachePadded<Shard>]>,
-    mask: usize,
+    /// The object-id → shard mapping. The same [`ShardMap`] type (and
+    /// therefore the same mapping function) the registry and the heap's
+    /// access-epoch table use, so skip decisions (thread-sharded) and
+    /// demotion decisions (object-sharded) are computed from one mapping,
+    /// not two that can drift.
+    map: ShardMap,
     demotions: AtomicU64,
     promotions: AtomicU64,
 }
@@ -175,16 +180,16 @@ impl AdaptController {
             heap_objects.clamp(1, 4096)
         } else {
             cfg.shards
-        }
-        .next_power_of_two();
-        let shards = (0..n)
+        };
+        let map = ShardMap::new(n);
+        let shards = (0..map.shards())
             .map(|_| CachePadded::new(Shard::default()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
         AdaptController {
             cfg,
             shards,
-            mask: n - 1,
+            map,
             demotions: AtomicU64::new(0),
             promotions: AtomicU64::new(0),
         }
@@ -195,9 +200,14 @@ impl AdaptController {
         &self.cfg
     }
 
+    /// The object-id → shard mapping this controller steers by.
+    pub fn shard_map(&self) -> ShardMap {
+        self.map
+    }
+
     #[inline(always)]
     fn shard(&self, obj: u32) -> &Shard {
-        &self.shards[obj as usize & self.mask]
+        &self.shards[self.map.shard_of(obj as usize)]
     }
 
     /// Is `obj`'s shard currently demoted? The engines' steering load — one
@@ -455,6 +465,25 @@ mod tests {
         assert!(!c.is_demoted(1), "other shards unaffected");
         // Object 4 aliases shard 0 (4 shards): the hint is shared.
         assert!(c.is_demoted(4));
+    }
+
+    #[test]
+    fn controller_and_registry_share_one_mapping() {
+        // The tentpole's "one mapping" guarantee: the controller's shard
+        // function IS ShardMap::shard_of, so for every object id the shard
+        // the skip logic would consult and the shard the demotion flag lives
+        // in are computed identically.
+        let c = AdaptController::new(AdaptConfig { shards: 4, ..cfg() }, 64);
+        let m = c.shard_map();
+        assert_eq!(m, ShardMap::new(4));
+        c.force_demote(6); // shard_of(6) == 2
+        for p in 0u32..64 {
+            assert_eq!(
+                c.is_demoted(p),
+                m.shard_of(p as usize) == m.shard_of(6),
+                "object {p}: demotion flag must follow the shared ShardMap"
+            );
+        }
     }
 
     #[test]

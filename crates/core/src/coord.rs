@@ -331,6 +331,21 @@ pub struct PendingPeer {
 /// Appends `(thread, clock)` pairs to `sources`; `pending` is caller-owned
 /// scratch (cleared here). Returns the combined mode under the same
 /// aggregation as [`coordinate_all_seq`] (detached peers count as implicit).
+///
+/// ## Epoch skip (DESIGN.md §14)
+///
+/// When the runtime is sharded (`thread_shards() > 1`) and the fan-out names
+/// an object, the snapshot pass consults the heap's per-shard access-epoch
+/// table and **skips entire shards** whose epoch proves no thread of the
+/// shard ever accessed the object: zero roundtrip, zero enqueue. Skipped
+/// peers are *vacuous* — they contribute neither a source nor a mode flag,
+/// exactly like the no-peers case, so the `Mode` aggregation semantics are
+/// unchanged (all peers skipped ⇒ `Implicit`). A peer whose first access
+/// races the snapshot either stamps before our epoch load (we visit it) or
+/// stamps after (its access is ordered after this coordination — the same
+/// already-tolerated window as a thread registering mid-fan-out). Unsharded
+/// runtimes and `obj == None` fan-outs visit every peer, byte-for-byte as
+/// before.
 pub fn coordinate_many(
     rt: &Runtime,
     me: ThreadId,
@@ -369,11 +384,26 @@ pub fn coordinate_many_deadline(
     let before = sources.len();
     pending.clear();
 
+    // Epoch skip setup: only a sharded runtime with a named object can skip
+    // (obj == None callers are the conservative visit-everyone paths).
+    let heap = rt.heap();
+    let map = heap.thread_shard_map();
+    let skip_obj = if heap.thread_shards() > 1 { obj } else { None };
+
     // Phase 1: snapshot the live peers, resolving what needs no roundtrip.
     for i in 0..n {
         let remote = ThreadId(i as u16);
         if remote == me {
             continue;
+        }
+        if let Some(o) = skip_obj {
+            if !heap.shard_stamped(o, map.shard_of(i)) {
+                // No thread of this shard ever accessed `o` (the stamp is
+                // SeqCst-ordered before any such access's effect), so the
+                // peer can hold no privilege on it: resolved vacuously, no
+                // roundtrip, no enqueue, no source.
+                continue;
+            }
         }
         let ctl = rt.control(remote);
         if ctl.is_detached() {
@@ -899,6 +929,138 @@ mod tests {
                 "parked requester answered within a few park intervals: {latency:?}"
             );
         });
+    }
+
+    /// Epoch skip: in a per-thread-sharded runtime, a fan-out naming an
+    /// object visits only the peers whose shards are stamped for it; the
+    /// skipped peers are vacuous (no source, no mode contribution), and an
+    /// all-skipped fan-out aggregates to Implicit exactly like no-peers.
+    #[test]
+    fn fanout_skips_unstamped_shards() {
+        let rt = Runtime::new(RuntimeConfig::builder().max_threads(16).shards(16).build());
+        let me = rt.register_thread();
+        let stamped = rt.register_thread();
+        let cold = rt.register_thread();
+        assert_eq!(rt.heap().thread_shards(), 16, "per-thread shard granularity");
+        let o = drink_runtime::ObjId(3);
+        // Only `stamped`'s shard has ever touched `o`. `cold` never did; it
+        // also never polls, so visiting it would hang or trip a deadline.
+        rt.stamp_access(stamped, o);
+        // `stamped` is blocked, so the one visited peer resolves implicitly.
+        rt.control(stamped).bump_release_clock();
+        rt.control(stamped).publish_blocked();
+        let _ = cold;
+
+        let mut sources = Vec::new();
+        let mut pending = Vec::new();
+        let mode = coordinate_many(&rt, me, Some(o), &mut || {}, &mut sources, &mut pending);
+        assert_eq!(mode, CoordMode::Implicit);
+        assert_eq!(sources, vec![(stamped, 1)], "only the stamped shard visited");
+        assert!(
+            !rt.control(cold).has_pending_requests(),
+            "skipped peer must see zero explicit requests"
+        );
+
+        // A fan-out on a *different*, wholly-unstamped object skips everyone:
+        // vacuous, Implicit, and it completes instantly despite `cold`.
+        let o2 = drink_runtime::ObjId(7);
+        sources.clear();
+        let mode = coordinate_many(&rt, me, Some(o2), &mut || {}, &mut sources, &mut pending);
+        assert_eq!(mode, CoordMode::Implicit, "all-skipped aggregates like no-peers");
+        assert!(sources.is_empty());
+
+        // obj = None keeps the conservative visit-everyone behavior: `cold`
+        // would now be visited, so its inbox must receive a request.
+        sources.clear();
+        let _ = coordinate_many_deadline(
+            &rt,
+            me,
+            None,
+            &mut || {},
+            &mut sources,
+            &mut pending,
+            Some(Duration::from_millis(20)),
+        );
+        assert!(
+            rt.control(cold).has_pending_requests(),
+            "obj=None fan-out still visits unstamped shards"
+        );
+        for req in rt.control(cold).take_requests() {
+            req.token.complete(rt.control(cold).bump_release_clock());
+        }
+    }
+
+    /// Satellite: thread registration racing a fan-out snapshot. The
+    /// `Release` registration bump paired with the snapshot's `Acquire`
+    /// `registered_threads()` load means a fan-out sees either the pre- or
+    /// post-registration count, and any thread it does see has a fully
+    /// initialized control block. Late registrants simply aren't coordinated
+    /// with this round — their first access is ordered after the snapshot.
+    #[test]
+    fn fanout_snapshot_races_registration() {
+        for _ in 0..50 {
+            let rt = Runtime::new(RuntimeConfig::builder().max_threads(8).build());
+            let me = rt.register_thread();
+            let done = AtomicBool::new(false);
+
+            std::thread::scope(|s| {
+                let rtr = &rt;
+                let done_r = &done;
+                // Registrants: each registers mid-fan-out, acts as a safe
+                // point until the requester finishes, then blocks.
+                let mut joiners = Vec::new();
+                for _ in 0..4 {
+                    joiners.push(s.spawn(move || {
+                        let t = rtr.register_thread();
+                        let ctl = rtr.control(t);
+                        let mut spin = rtr.spinner("registration race test");
+                        while !done_r.load(Ordering::Relaxed) {
+                            for req in ctl.take_requests() {
+                                req.token.complete(ctl.bump_release_clock());
+                            }
+                            spin.spin();
+                        }
+                    }));
+                }
+
+                // Requester: repeated fan-outs while peers register.
+                let ctl = rt.control(me);
+                let mut sources = Vec::new();
+                let mut pending = Vec::new();
+                for _ in 0..20 {
+                    sources.clear();
+                    let seen = rt.registered_threads();
+                    let mode = coordinate_many(
+                        &rt,
+                        me,
+                        None,
+                        &mut || {
+                            for req in ctl.take_requests() {
+                                req.token.complete(ctl.bump_release_clock());
+                            }
+                        },
+                        &mut sources,
+                        &mut pending,
+                    );
+                    // Every source is a distinct, registered, non-self peer.
+                    assert!(matches!(
+                        mode,
+                        CoordMode::Explicit | CoordMode::Implicit | CoordMode::Mixed
+                    ));
+                    assert!(sources.len() >= seen - 1, "at least the pre-snapshot peers");
+                    assert!(sources.len() <= rt.registered_threads() - 1);
+                    let mut tids: Vec<_> = sources.iter().map(|&(t, _)| t).collect();
+                    tids.sort();
+                    tids.dedup();
+                    assert_eq!(tids.len(), sources.len(), "no peer resolved twice");
+                    assert!(!tids.contains(&me));
+                }
+                done.store(true, Ordering::Relaxed);
+                for j in joiners {
+                    j.join().unwrap();
+                }
+            });
+        }
     }
 
     #[test]

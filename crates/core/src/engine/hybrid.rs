@@ -36,6 +36,18 @@ use crate::support::{CoordMode, NullSupport, Support, SupportCx, TransitionEv};
 use crate::tstate::ThreadState;
 use crate::word::{Kind, LockMode, StateWord};
 
+/// Count the peers a completed fan-out *skipped* via the epoch table
+/// (DESIGN.md §14): every registered peer that contributed no source was
+/// resolved vacuously by the shard-skip. Computed post-hoc so the fan-out's
+/// hot loop carries no extra state; only meaningful on sharded runtimes
+/// (unsharded fan-outs visit every peer and the difference is zero).
+pub(crate) fn note_fanout_skips(rt: &Runtime, ts: &mut ThreadState, sources: usize) {
+    if rt.heap().thread_shards() > 1 {
+        let peers = rt.registered_threads().saturating_sub(1);
+        ts.stats.add(Event::CoordFanoutSkipped, peers.saturating_sub(sources) as u64);
+    }
+}
+
 /// What state a read by the owner of a `WrExPess` object produces.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum SelfReadMode {
@@ -183,6 +195,7 @@ impl<S: Support> HybridEngine<S> {
         if fanout && mode.is_some() {
             ts.stats.bump(Event::CoordFanout);
             ts.stats.add(Event::CoordFanoutPeers, scratch.len() as u64);
+            note_fanout_skips(&rt, ts, scratch.len());
         }
         ts.src_scratch = scratch;
         ts.fanout_scratch = pending;
@@ -333,6 +346,7 @@ impl<S: Support> HybridEngine<S> {
         if fanout && done {
             ts.stats.bump(Event::CoordFanout);
             ts.stats.add(Event::CoordFanoutPeers, sink.len() as u64);
+            note_fanout_skips(&rt, ts, sink.len());
         }
         ts.src_scratch = sink;
         ts.fanout_scratch = pending;
@@ -602,6 +616,9 @@ impl<S: Support> HybridEngine<S> {
     fn write_impl(&self, t: ThreadId, o: ObjId, v: u64, abortable: bool) -> Option<u64> {
         // SAFETY: attached thread (Tracker contract).
         let ts = unsafe { self.common.ts(t) };
+        // Stamp before the state word is even examined: the epoch table must
+        // prove "this shard never touched o" only when it is true (§14).
+        self.common.rt.stamp_access(t, o);
         let obj = self.common.rt.obj(o);
         // Fast path (Figure 10(a)): only WrExOpt(T).
         if obj.state().load(Ordering::Acquire) == StateWord::wr_ex_opt(t).0 {
@@ -978,6 +995,8 @@ impl<S: Support> Tracker for HybridEngine<S> {
         // SAFETY: attached thread.
         let ts = unsafe { self.common.ts(t) };
         ts.stats.bump(Event::Read);
+        // Stamp-before-examine, as in the write path (DESIGN.md §14).
+        self.common.rt.stamp_access(t, o);
         let obj = self.common.rt.obj(o);
         let cur = obj.state().load(Ordering::Acquire);
         let w = StateWord(cur);
@@ -1021,7 +1040,10 @@ impl<S: Support> Tracker for HybridEngine<S> {
 
     fn alloc_init(&self, o: ObjId, owner: ThreadId) {
         // "Each object newly allocated by thread T starts in the WrExOpt(T)
-        // state" (§6.2).
+        // state" (§6.2). The allocation stamps the owner's shard: the state
+        // word names the owner, so targeted coordination may reach it before
+        // its first instrumented access.
+        self.common.rt.stamp_access(owner, o);
         let obj = self.common.rt.obj(o);
         obj.state().store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
         obj.bump_version();

@@ -55,6 +55,9 @@ impl<S: Support> PessimisticEngine<S> {
         } else {
             Event::Read
         });
+        // Stamp the accessing shard before examining the state word, so the
+        // epoch table's "never touched" proof stays sound (DESIGN.md §14).
+        self.common.rt.stamp_access(t, o);
 
         let obj = self.common.rt.obj(o);
         let state = obj.state();
@@ -173,6 +176,8 @@ impl<S: Support> Tracker for PessimisticEngine<S> {
     }
 
     fn alloc_init(&self, o: ObjId, owner: ThreadId) {
+        // The state word names the owner from here on: stamp its shard.
+        self.common.rt.stamp_access(owner, o);
         let obj = self.common.rt.obj(o);
         obj.state().store(StateWord::wr_ex_opt(owner).0, Ordering::SeqCst);
         obj.bump_version();

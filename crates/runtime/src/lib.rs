@@ -35,6 +35,7 @@ pub mod heap;
 pub mod ids;
 pub mod monitor;
 pub mod pad;
+pub mod registry;
 pub mod runtime;
 pub mod spin;
 pub mod stats;
@@ -46,6 +47,7 @@ pub use heap::{Heap, ObjHeader};
 pub use ids::{MonitorId, ObjId, ThreadId};
 pub use monitor::Monitor;
 pub use pad::CachePadded;
+pub use registry::{Registry, ShardMap};
 pub use runtime::{Runtime, RuntimeConfig, RuntimeConfigBuilder};
 pub use spin::{Spin, SpinOutcome};
 pub use stats::{Event, GlobalStats, HistogramSnapshot, LatencyKind, LocalStats, StatsReport};

@@ -1,6 +1,6 @@
 //! The runtime registry: threads, heap, monitors, global counters.
 
-use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use std::sync::Arc;
@@ -9,6 +9,7 @@ use crate::control::ThreadControl;
 use crate::heap::Heap;
 use crate::ids::{MonitorId, ObjId, ThreadId};
 use crate::monitor::{AcquireInfo, Monitor};
+use crate::registry::{Registry, ShardMap};
 use crate::stats::{GlobalStats, LatencyKind};
 use crate::trace::{RingTraceSink, TraceKind, TraceSink, TraceSnapshot};
 use crate::{RtHooks, SchedHooks, SchedPoint};
@@ -50,6 +51,13 @@ pub struct RuntimeConfig {
     /// to one branch. Non-zero auto-installs a [`RingTraceSink`] holding the
     /// last `trace_capacity` events per thread.
     pub trace_capacity: usize,
+    /// Number of registry/monitor-table shards (rounded up to a power of
+    /// two). `0` (the default) means auto: `next_pow2(max_threads / 8)` —
+    /// one shard per 8 threads, so ≤8-thread configurations keep the flat
+    /// single-shard layout. The same mapping indexes the heap's per-object
+    /// access-epoch table, which lets fan-outs skip shards whose threads
+    /// provably never touched the object (DESIGN.md §14).
+    pub shards: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -63,6 +71,7 @@ impl Default for RuntimeConfig {
             coord_deadline: Duration::ZERO,
             padded_headers: false,
             trace_capacity: 0,
+            shards: 0,
         }
     }
 }
@@ -84,6 +93,16 @@ impl RuntimeConfig {
     /// a field never breaks call sites the way struct literals did.
     pub fn builder() -> RuntimeConfigBuilder {
         RuntimeConfigBuilder { config: RuntimeConfig::default() }
+    }
+
+    /// The thread-shard mapping this config resolves to (`shards` rounded to
+    /// a power of two, or the `next_pow2(max_threads / 8)` auto default).
+    pub fn shard_map(&self) -> ShardMap {
+        if self.shards == 0 {
+            ShardMap::auto(self.max_threads)
+        } else {
+            ShardMap::new(self.shards)
+        }
     }
 }
 
@@ -143,6 +162,13 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Number of registry/monitor/epoch-table shards; `0` (the default)
+    /// derives `next_pow2(max_threads / 8)`.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.config.shards = n;
+        self
+    }
+
     /// Finish, yielding the config.
     pub fn build(self) -> RuntimeConfig {
         self.config
@@ -157,14 +183,13 @@ impl RuntimeConfigBuilder {
 #[derive(Debug)]
 pub struct Runtime {
     config: RuntimeConfig,
-    controls: Box<[ThreadControl]>,
+    /// Sharded thread-control and monitor tables (see [`crate::registry`]).
+    registry: Registry,
     heap: Heap,
-    monitors: Box<[Monitor]>,
     /// The paper's monotonically increasing global counter `gRdShCount`
     /// (Table 1 footnote): upgrading transitions to RdSh take their counter
     /// value `c` from here.
     g_rdsh_count: AtomicU64,
-    next_tid: AtomicU16,
     stats: GlobalStats,
     /// Optional schedule-perturbation layer (crate `drink-check`). `None` in
     /// production runs; every perturbation site reduces to one branch.
@@ -178,15 +203,9 @@ impl Runtime {
     /// Build a runtime per `config`.
     pub fn new(config: RuntimeConfig) -> Self {
         assert!(config.max_threads <= ThreadId::MAX, "too many threads");
-        let controls = (0..config.max_threads)
-            .map(|_| ThreadControl::new())
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
-        let heap = Heap::with_layout(config.heap_objects, config.padded_headers);
-        let monitors = (0..config.monitors)
-            .map(|_| Monitor::new())
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
+        let map = config.shard_map();
+        let registry = Registry::new(config.max_threads, config.monitors, map);
+        let heap = Heap::with_shards(config.heap_objects, config.padded_headers, map);
         let sink: Option<Arc<dyn TraceSink>> = (config.trace_capacity > 0)
             .then(|| {
                 Arc::new(RingTraceSink::new(config.max_threads, config.trace_capacity))
@@ -194,12 +213,10 @@ impl Runtime {
             });
         Runtime {
             config,
-            controls,
+            registry,
             heap,
-            monitors,
             // Start at 1 so that counter value 0 can mean "no RdSh epoch".
             g_rdsh_count: AtomicU64::new(1),
-            next_tid: AtomicU16::new(0),
             stats: GlobalStats::new(),
             sched: None,
             sink,
@@ -257,32 +274,52 @@ impl Runtime {
     }
 
     /// Register the calling thread as a mutator; ids are dense and assigned
-    /// in registration order. Panics if `max_threads` is exceeded.
+    /// in registration order. Panics if `max_threads` is exceeded. The
+    /// registration bump is `Release`, pairing with the `Acquire` load in
+    /// [`Runtime::registered_threads`] (see [`Registry::register`]).
     pub fn register_thread(&self) -> ThreadId {
-        let raw = self.next_tid.fetch_add(1, Ordering::Relaxed);
-        assert!(
-            (raw as usize) < self.config.max_threads,
-            "thread registry full ({} max)",
-            self.config.max_threads
-        );
-        ThreadId(raw)
+        self.registry.register()
     }
 
-    /// Number of threads registered so far.
+    /// Number of threads registered so far (`Acquire`; pairs with the
+    /// `Release` registration bump so a fan-out snapshot that observes a new
+    /// count also observes whatever the registrant published beforehand).
     pub fn registered_threads(&self) -> usize {
-        (self.next_tid.load(Ordering::Relaxed) as usize).min(self.config.max_threads)
+        self.registry.registered()
     }
 
     /// Control block of thread `t`.
     #[inline(always)]
     pub fn control(&self, t: ThreadId) -> &ThreadControl {
-        &self.controls[t.index()]
+        self.registry.control(t)
     }
 
-    /// All control blocks (coordination with "every other thread" for RdSh
-    /// conflicts iterates registered threads only).
-    pub fn controls(&self) -> &[ThreadControl] {
-        &self.controls[..self.registered_threads()]
+    /// All registered control blocks in dense id order (coordination with
+    /// "every other thread" for RdSh conflicts iterates registered threads
+    /// only). The storage is sharded, so this is an iterator rather than a
+    /// contiguous slice.
+    pub fn controls(&self) -> impl Iterator<Item = &ThreadControl> + '_ {
+        self.registry.controls()
+    }
+
+    /// The thread-shard mapping shared by the registry, the monitor table
+    /// and the heap's access-epoch table.
+    #[inline(always)]
+    pub fn shard_map(&self) -> ShardMap {
+        self.registry.shard_map()
+    }
+
+    /// The registry shard thread `t` belongs to.
+    #[inline(always)]
+    pub fn thread_shard(&self, t: ThreadId) -> usize {
+        self.registry.shard_map().shard_of(t.index())
+    }
+
+    /// Stamp object `o`'s access epoch for thread `t`'s shard (shorthand
+    /// for `heap().stamp_access(o, thread_shard(t))`; see DESIGN.md §14).
+    #[inline(always)]
+    pub fn stamp_access(&self, t: ThreadId, o: ObjId) {
+        self.heap.stamp_access(o, self.thread_shard(t));
     }
 
     /// The tracked heap.
@@ -300,7 +337,7 @@ impl Runtime {
     /// The monitor with id `m`.
     #[inline(always)]
     pub fn monitor(&self, m: MonitorId) -> &Monitor {
-        &self.monitors[m.index()]
+        self.registry.monitor(m)
     }
 
     /// Aggregate statistics.
@@ -447,7 +484,7 @@ mod tests {
         assert_eq!(rt.register_thread(), ThreadId(0));
         assert_eq!(rt.register_thread(), ThreadId(1));
         assert_eq!(rt.registered_threads(), 2);
-        assert_eq!(rt.controls().len(), 2);
+        assert_eq!(rt.controls().count(), 2);
     }
 
     #[test]
@@ -469,6 +506,7 @@ mod tests {
             .coord_deadline(Duration::from_millis(45))
             .padded_headers(true)
             .trace_capacity(64)
+            .shards(3)
             .build();
         assert_eq!(built.max_threads, 5);
         assert_eq!(built.heap_objects, 77);
@@ -478,6 +516,8 @@ mod tests {
         assert_eq!(built.coord_deadline, Duration::from_millis(45));
         assert!(built.padded_headers);
         assert_eq!(built.trace_capacity, 64);
+        assert_eq!(built.shards, 3);
+        assert_eq!(built.shard_map().shards(), 4, "explicit shards round to pow2");
 
         #[allow(deprecated)]
         let legacy = RuntimeConfig::sized(5, 77, 3);
@@ -486,6 +526,22 @@ mod tests {
         assert_eq!(legacy.monitors, 3);
         assert_eq!(legacy.trace_capacity, 0, "sized() keeps tracing off");
         assert_eq!(legacy.coord_deadline, Duration::ZERO, "deadline off by default");
+    }
+
+    #[test]
+    fn sharded_runtime_shares_one_mapping() {
+        // Defaults: one shard per 8 threads.
+        assert_eq!(Runtime::new(cfg(8, 4, 1)).shard_map().shards(), 1);
+        let rt = Runtime::new(RuntimeConfig::builder().max_threads(16).heap_objects(8).build());
+        assert_eq!(rt.shard_map().shards(), 2);
+        assert_eq!(rt.heap().thread_shards(), 2, "heap epoch table uses the registry mapping");
+        let t0 = rt.register_thread();
+        let t1 = rt.register_thread();
+        assert_eq!(rt.thread_shard(t0), 0);
+        assert_eq!(rt.thread_shard(t1), 1);
+        rt.stamp_access(t1, ObjId(3));
+        assert!(rt.heap().shard_stamped(ObjId(3), 1));
+        assert!(!rt.heap().shard_stamped(ObjId(3), 0));
     }
 
     #[test]

@@ -136,11 +136,19 @@ pub enum Event {
     /// The online controller re-promoted an object shard pess→opt after its
     /// cooldown (observed coordination cost fell below the band's lower edge).
     AdaptPromotion,
+
+    // --- Sharded substrate (DESIGN.md §14) ---
+    /// A fan-out's snapshot pass skipped a peer because its registry shard's
+    /// access epoch proved no thread of that shard ever touched the object:
+    /// zero roundtrip, zero enqueue, resolved as vacuously implicit. Counted
+    /// per skipped *peer* (divide by `CoordFanout` for peers-skipped-per-
+    /// fan-out).
+    CoordFanoutSkipped,
 }
 
 impl Event {
     /// Number of event kinds (length of the counter arrays).
-    pub const COUNT: usize = Event::AdaptPromotion as usize + 1;
+    pub const COUNT: usize = Event::CoordFanoutSkipped as usize + 1;
 
     /// Compile-time proof backing the unchecked indexing in
     /// [`LocalStats::bump`]: discriminants are the dense range `0..COUNT`.
@@ -190,6 +198,7 @@ impl Event {
         Event::CoordDeadlineExceeded,
         Event::AdaptDemotion,
         Event::AdaptPromotion,
+        Event::CoordFanoutSkipped,
     ];
 
     /// Stable human-readable name (used by the bench harnesses' reports).
@@ -231,6 +240,7 @@ impl Event {
             Event::CoordDeadlineExceeded => "coord.deadline_exceeded",
             Event::AdaptDemotion => "adapt.demotion",
             Event::AdaptPromotion => "adapt.promotion",
+            Event::CoordFanoutSkipped => "coord.fanout_skipped",
         }
     }
 }

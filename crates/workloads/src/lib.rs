@@ -25,6 +25,6 @@ pub use profiles::{all as all_profiles, by_name, scaled, PaperRef, Profile};
 pub use record_replay::{record, replay, replay_with, RecordOutcome, RecorderKind};
 pub use rs_driver::{run_rs, run_rs_on, RsKind};
 pub use spec::{
-    chaos_adapt, chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh, chaos_read_mostly, racy_inc,
-    sync_inc, Op, WorkloadSpec,
+    chaos_adapt, chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh, chaos_read_mostly,
+    chaos_shard, racy_inc, sync_inc, Op, WorkloadSpec,
 };

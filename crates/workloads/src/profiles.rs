@@ -86,6 +86,7 @@ fn base(name: &str, steps: usize) -> WorkloadSpec {
         monitor_spin: None,
         coord_deadline_ms: None,
         phase_every: 0,
+        shards: None,
     }
 }
 

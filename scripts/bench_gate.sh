@@ -43,14 +43,29 @@ run_and_compare() {
     mv "$tmp" "$out"
 }
 
-# Advisory status lives in the reports themselves (schema v3): each bench
+# Advisory status lives in the reports themselves (schema v4): each bench
 # binary marks its known-unstable rows (e.g. trace_on_opt_write) at the
 # emission site, and `bench_compare` refuses (exit 2) if a previously-gated
 # baseline row arrives marked advisory. The opt_access_*/adapt_access_* rows
 # that PR 6 kept advisory (bimodal 278ns-16.9us under coordination storms)
 # are gated since the online demotion controller (DESIGN.md §13) collapsed
 # them to stable near-pessimistic values.
-run_and_compare hotpath "$HOTPATH_OUT"
-run_and_compare contention "$CONTENTION_OUT"
+#
+# --scaling gates the thread-width curves (DESIGN.md §14) on doubling
+# ratios, an absolute property of the fresh run:
+#   * rdsh_conflict_fanout_skip_N holds the sharer set at 4 while the
+#     registered count doubles, so its roundtrip-dominated latency must be
+#     width-independent: at most 2x per doubling (expected ~1x);
+#   * fanout_snapshot_skip_tN is the pure snapshot walk — one epoch load
+#     per peer, linear with a tiny constant: 3x per doubling;
+#   * fanout_snapshot_blocked_tN and rdsh_conflict_fanout_N do a status
+#     CAS or a full roundtrip per peer (~2x per doubling); 6x of headroom
+#     absorbs scheduler noise on oversubscribed single-core CI hosts.
+run_and_compare hotpath "$HOTPATH_OUT" \
+    --scaling fanout_snapshot_blocked_t:6.0 \
+    --scaling fanout_snapshot_skip_t:3.0
+run_and_compare contention "$CONTENTION_OUT" \
+    --scaling rdsh_conflict_fanout_:6.0 \
+    --scaling rdsh_conflict_fanout_skip_:2.0
 
 echo "=== bench_gate: OK"

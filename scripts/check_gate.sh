@@ -11,12 +11,17 @@
 #   2. Clean fixed-seed smoke matrix: 3 engines x 4 seeds x 4 workloads
 #      plus the differential / seqlock / replay / RS oracles. Must pass.
 #   3. Canaries: re-run the matrix with a deliberately injected protocol
-#      bug. Two bugs, each its own leg:
+#      bug. Three bugs, each its own leg:
 #        - skip-flush-before-block (lock-buffer flush dropped before a
 #          blocking safe point);
 #        - skip-version-bump (state-word installs stop advancing the
 #          per-object version counter, silently breaking the seqlock read
-#          protocol of DESIGN.md s12).
+#          protocol of DESIGN.md s12);
+#        - skip-epoch-stamp (accesses stop stamping their shard's access
+#          epoch, silently un-sounding the fan-out shard skip of
+#          DESIGN.md s14 — caught by the receiver-side stamped-request
+#          invariant on the 16-thread chaosShard spec and by the
+#          shard-skip oracle's stamp-mask comparison).
 #      The harness must CATCH each (nonzero exit, artifact written), and
 #      `--reproduce` on the saved artifact must fail again — proving the
 #      seed+trace actually pins the failure. A canary that passes means
@@ -89,6 +94,25 @@ if ! grep -q '"events"' "$version_artifact"; then
   exit 1
 fi
 
+echo "=== check_gate: injected-bug canary (skip-epoch-stamp)"
+rm -rf "$ARTIFACTS/canary-epoch"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-epoch-stamp \
+    "$SMOKE" --fail-fast --artifact-dir "$ARTIFACTS/canary-epoch"; then
+  echo "check_gate: FAIL — skip-epoch-stamp was NOT caught (shard-skip oracle blind)" >&2
+  exit 1
+fi
+
+epoch_artifact="$(ls "$ARTIFACTS"/canary-epoch/*.json 2>/dev/null | head -n1 || true)"
+if [ -z "$epoch_artifact" ]; then
+  echo "check_gate: FAIL — epoch canary failed but wrote no artifact" >&2
+  exit 1
+fi
+
+if ! grep -q '"events"' "$epoch_artifact"; then
+  echo "check_gate: FAIL — epoch canary artifact has no embedded event timelines" >&2
+  exit 1
+fi
+
 echo "=== check_gate: trace export / ingest round trip"
 cargo build --release -p drink-bench --bin trace
 TRACE_OUT="$ARTIFACTS/canary-trace.json"
@@ -106,6 +130,13 @@ echo "=== check_gate: reproduce version canary artifact ($version_artifact)"
 if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-version-bump \
     "$SMOKE" --reproduce "$version_artifact"; then
   echo "check_gate: FAIL — version canary artifact did not reproduce" >&2
+  exit 1
+fi
+
+echo "=== check_gate: reproduce epoch canary artifact ($epoch_artifact)"
+if DRINK_SPIN_BUDGET_MS=3000 DRINK_INJECT_BUG=skip-epoch-stamp \
+    "$SMOKE" --reproduce "$epoch_artifact"; then
+  echo "check_gate: FAIL — epoch canary artifact did not reproduce" >&2
   exit 1
 fi
 
