@@ -6,7 +6,10 @@
 //! bench_compare <baseline.json> <fresh.json> [--threshold PCT] [--advisory PREFIX]... [--scaling PREFIX:RATIO]...
 //! ```
 //!
-//! Rows are matched by name. A fresh-only row is reported but never fails
+//! Rows are matched by name. The comparison direction is per-row: ordinary
+//! rows regress when the fresh value rises past the threshold, rows flagged
+//! `higher_is_better` in the fresh report (schema v5 — the serve throughput
+//! rows) regress when it drops. A fresh-only row is reported but never fails
 //! the gate (new benches land before their baseline). A *baseline-only* row
 //! is a hard usage error (exit 2): the bench suite silently shrank, and a
 //! gate that skips vanished measurements is blind — retiring a row requires
@@ -135,7 +138,19 @@ fn main() {
             row.advisory || advisory.iter().any(|p| row.name.starts_with(p.as_str()));
         match base.rows.iter().find(|b| b.name == row.name) {
             Some(b) if b.ns_per_op > 0.0 => {
-                let delta = (row.ns_per_op / b.ns_per_op - 1.0) * 100.0;
+                // Regression direction follows the row's flag: latency-style
+                // rows regress when the fresh value *rises*, throughput-style
+                // rows (schema v5 `higher_is_better`) when it *drops*. Either
+                // way `delta` is "percent worse", compared to one threshold.
+                let delta = if row.higher_is_better {
+                    if row.ns_per_op > 0.0 {
+                        (b.ns_per_op / row.ns_per_op - 1.0) * 100.0
+                    } else {
+                        f64::INFINITY
+                    }
+                } else {
+                    (row.ns_per_op / b.ns_per_op - 1.0) * 100.0
+                };
                 let verdict = if delta <= threshold {
                     "ok"
                 } else if is_advisory {
@@ -144,8 +159,9 @@ fn main() {
                     regressions += 1;
                     "REGRESSED"
                 };
+                let unit = if row.higher_is_better { "(↑ better)" } else { "ns/op" };
                 println!(
-                    "{:<28} {:>10.2} -> {:>10.2} ns/op  {:>+7.1}%  {verdict}",
+                    "{:<28} {:>10.2} -> {:>10.2} {unit}  {:>+7.1}% worse  {verdict}",
                     row.name, b.ns_per_op, row.ns_per_op, delta
                 );
             }

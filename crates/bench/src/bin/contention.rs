@@ -70,7 +70,14 @@ const SKIP_SHARERS: usize = 4;
 
 fn push_row(rows: &mut Vec<Row>, name: String, iters: u64, ns: f64, threads: usize) {
     println!("{name:<28} {ns:>10.2} ns/op   ({iters} iters, t={threads})");
-    rows.push(Row { name, iters, ns_per_op: ns, advisory: false, threads: threads as u64 });
+    rows.push(Row {
+        name,
+        iters,
+        ns_per_op: ns,
+        advisory: false,
+        threads: threads as u64,
+        higher_is_better: false,
+    });
 }
 
 /// All-peer rows get more expensive roughly linearly in width; shrink the
@@ -251,12 +258,13 @@ fn engine_throughput(rows: &mut Vec<Row>, scale: f64, trials: usize) {
     let steps = ((12_000.0 * scale) as usize).max(200);
     for n in WIDTHS {
         let spec = contention_spec(n, steps);
-        for (tag, kind) in [
-            ("pess", EngineKind::Pessimistic),
-            ("opt", EngineKind::Optimistic),
-            ("adapt", EngineKind::Adaptive),
-            ("hybrid", EngineKind::Hybrid),
+        for kind in [
+            EngineKind::Pessimistic,
+            EngineKind::Optimistic,
+            EngineKind::Adaptive,
+            EngineKind::Hybrid,
         ] {
+            let tag = kind.short_name();
             let mut best = std::time::Duration::MAX;
             let mut accesses = 1u64;
             let mut fanout_p = (0.0f64, 0.0f64, 0u64);

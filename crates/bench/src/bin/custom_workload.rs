@@ -15,10 +15,10 @@ use drink_bench::{model_overhead_pct, overhead_pct, row, DEFAULT_WORK_PER_ACCESS
 use drink_workloads::{run_kind, EngineKind, WorkloadSpec};
 
 fn template() -> WorkloadSpec {
-    WorkloadSpec {
-        name: "custom".into(),
-        ..WorkloadSpec::default()
-    }
+    WorkloadSpec::builder()
+        .name("custom")
+        .build()
+        .expect("template spec is valid")
 }
 
 fn main() {
@@ -28,7 +28,7 @@ fn main() {
         return;
     }
     let Some(path) = args.first() else {
-        eprintln!("usage: custom_workload <spec.json> [baseline|pessimistic|optimistic|adaptive|hybrid|hybrid-inf|ideal]");
+        eprintln!("usage: custom_workload <spec.json> [{}]", EngineKind::CLI_NAMES);
         eprintln!("       custom_workload --template   # print a starting spec");
         std::process::exit(2);
     };
@@ -40,6 +40,11 @@ fn main() {
         eprintln!("invalid spec: {e}");
         std::process::exit(2);
     });
+    // Deserialized specs bypass the builder, so re-validate before running.
+    if let Err(e) = spec.validate() {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
 
     let kinds: Vec<EngineKind> = match args.get(1).map(String::as_str) {
         None => {
@@ -47,17 +52,14 @@ fn main() {
             v.extend(EngineKind::FIGURE7);
             v
         }
-        Some("baseline") => vec![EngineKind::Baseline],
-        Some("pessimistic") => vec![EngineKind::Baseline, EngineKind::Pessimistic],
-        Some("optimistic") => vec![EngineKind::Baseline, EngineKind::Optimistic],
-        Some("adaptive") => vec![EngineKind::Baseline, EngineKind::Adaptive],
-        Some("hybrid") => vec![EngineKind::Baseline, EngineKind::Hybrid],
-        Some("hybrid-inf") => vec![EngineKind::Baseline, EngineKind::HybridInfiniteCutoff],
-        Some("ideal") => vec![EngineKind::Baseline, EngineKind::Ideal],
-        Some(other) => {
-            eprintln!("unknown engine: {other}");
-            std::process::exit(2);
-        }
+        Some(name) => match EngineKind::parse(name) {
+            Some(EngineKind::Baseline) => vec![EngineKind::Baseline],
+            Some(kind) => vec![EngineKind::Baseline, kind],
+            None => {
+                eprintln!("unknown engine: {name} (expected {})", EngineKind::CLI_NAMES);
+                std::process::exit(2);
+            }
+        },
     };
 
     println!(

@@ -52,6 +52,7 @@ fn measure(name: &str, iters: u64, mut f: impl FnMut()) -> Row {
         // `threads` at theirs: see `fanout_snapshot`.
         advisory: false,
         threads: 0,
+        higher_is_better: false,
     }
 }
 

@@ -35,10 +35,11 @@ fn arg_after(args: &[String], flag: &str) -> Option<String> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: trace [--engine hybrid|opt|pess|baseline] [--workload NAME] \
+        "usage: trace [--engine {}] [--workload NAME] \
          [--seed N] [--capacity N] [--out FILE] [--text FILE]\n\
          \x20      trace --check FILE\n\
-         workloads: chaos_mix chaos_disjoint chaos_handoff chaos_rdsh racy_inc sync_inc"
+         workloads: chaos_mix chaos_disjoint chaos_handoff chaos_rdsh racy_inc sync_inc",
+        EngineKind::CLI_NAMES
     );
     std::process::exit(2);
 }
@@ -59,18 +60,10 @@ fn spec_for(workload: &str, seed: u64) -> WorkloadSpec {
 }
 
 fn engine_for(name: &str) -> EngineKind {
-    match name {
-        "hybrid" => EngineKind::Hybrid,
-        "hybrid-inf" => EngineKind::HybridInfiniteCutoff,
-        "opt" | "optimistic" => EngineKind::Optimistic,
-        "pess" | "pessimistic" => EngineKind::Pessimistic,
-        "baseline" => EngineKind::Baseline,
-        "ideal" => EngineKind::Ideal,
-        other => {
-            eprintln!("trace: unknown engine {other:?}");
-            usage();
-        }
-    }
+    EngineKind::parse(name).unwrap_or_else(|| {
+        eprintln!("trace: unknown engine {name:?}");
+        usage();
+    })
 }
 
 fn main() {

@@ -17,7 +17,13 @@ use serde::{Deserialize, Serialize};
 /// v4 added the per-row `threads` field carrying the registered-thread
 /// count of scaling-curve rows, so `bench_compare --scaling` can check
 /// ns/op growth across thread doublings without parsing row names.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5 added the per-row `higher_is_better` direction flag so throughput
+/// rows (ops/sec — the serve macro-bench) gate on *drops* while the
+/// latency/ns-per-op rows keep gating on *rises*. Absent in older rows,
+/// it parses as `false` (lower-is-better), the direction every pre-v5 row
+/// actually had.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One measured bench row: fixed iteration count, best-of-trials ns/op.
 ///
@@ -32,6 +38,10 @@ pub const SCHEMA_VERSION: u64 = 4;
 pub struct Row {
     pub name: String,
     pub iters: u64,
+    /// The measured value. Despite the name this is only "nanoseconds per
+    /// operation" on lower-is-better rows; direction-flagged rows (see
+    /// [`Row::higher_is_better`]) store whatever unit the row name declares
+    /// (the serve rows: requests per second).
     pub ns_per_op: f64,
     pub advisory: bool,
     /// Registered-thread count for scaling-curve rows; `0` for rows whose
@@ -39,13 +49,18 @@ pub struct Row {
     /// name prefix with increasing `threads` form the curve
     /// `bench_compare --scaling` checks doubling ratios on.
     pub threads: u64,
+    /// Gate direction: `false` (the default, and the only pre-v5 behavior)
+    /// means a *rise* beyond the threshold is a regression (latency-style
+    /// rows); `true` means a *drop* is (throughput-style rows).
+    pub higher_is_better: bool,
 }
 
 // Hand-written (de)serialization: the workspace serde shim's derive macro
-// supports no `#[serde(...)]` attributes, and `advisory`/`threads` must
-// parse as `false`/`0` when absent so pre-v3/v4 baselines (which lack the
-// fields) load as fully gated, unparameterized rows rather than failing
-// or — worse — silently un-gated.
+// supports no `#[serde(...)]` attributes, and `advisory`/`threads`/
+// `higher_is_better` must parse as `false`/`0`/`false` when absent so
+// pre-v3/v4/v5 baselines (which lack the fields) load as fully gated,
+// unparameterized, lower-is-better rows rather than failing or — worse —
+// silently un-gated.
 impl Serialize for Row {
     fn to_value(&self) -> serde::Value {
         serde::Value::Map(vec![
@@ -54,6 +69,7 @@ impl Serialize for Row {
             ("ns_per_op".to_string(), self.ns_per_op.to_value()),
             ("advisory".to_string(), self.advisory.to_value()),
             ("threads".to_string(), self.threads.to_value()),
+            ("higher_is_better".to_string(), self.higher_is_better.to_value()),
         ])
     }
 }
@@ -74,6 +90,10 @@ impl Deserialize for Row {
             threads: match m.iter().find(|(k, _)| k == "threads") {
                 Some((_, val)) => Deserialize::from_value(val)?,
                 None => 0,
+            },
+            higher_is_better: match m.iter().find(|(k, _)| k == "higher_is_better") {
+                Some((_, val)) => Deserialize::from_value(val)?,
+                None => false,
             },
         })
     }
@@ -102,18 +122,53 @@ impl Report {
 
     /// Record one gated row.
     pub fn push(&mut self, name: String, iters: u64, ns_per_op: f64) {
-        self.rows.push(Row { name, iters, ns_per_op, advisory: false, threads: 0 });
+        self.rows.push(Row {
+            name,
+            iters,
+            ns_per_op,
+            advisory: false,
+            threads: 0,
+            higher_is_better: false,
+        });
     }
 
     /// Record one advisory (report-only, never gated) row.
     pub fn push_advisory(&mut self, name: String, iters: u64, ns_per_op: f64) {
-        self.rows.push(Row { name, iters, ns_per_op, advisory: true, threads: 0 });
+        self.rows.push(Row {
+            name,
+            iters,
+            ns_per_op,
+            advisory: true,
+            threads: 0,
+            higher_is_better: false,
+        });
     }
 
     /// Record one gated row parameterized by thread width (a scaling-curve
     /// point for `bench_compare --scaling`).
     pub fn push_threaded(&mut self, name: String, iters: u64, ns_per_op: f64, threads: u64) {
-        self.rows.push(Row { name, iters, ns_per_op, advisory: false, threads });
+        self.rows.push(Row {
+            name,
+            iters,
+            ns_per_op,
+            advisory: false,
+            threads,
+            higher_is_better: false,
+        });
+    }
+
+    /// Record one gated *throughput* row (higher is better) parameterized by
+    /// thread width; `value` is in whatever unit the row name declares (the
+    /// serve rows: requests per second).
+    pub fn push_throughput(&mut self, name: String, iters: u64, value: f64, threads: u64) {
+        self.rows.push(Row {
+            name,
+            iters,
+            ns_per_op: value,
+            advisory: false,
+            threads,
+            higher_is_better: true,
+        });
     }
 
     /// Parse a report, rejecting schema-version mismatches with a message
@@ -211,6 +266,27 @@ mod tests {
         );
         let r = Report::parse(&json).unwrap();
         assert_eq!(r.rows[0].threads, 0);
+    }
+
+    #[test]
+    fn direction_flag_roundtrips_and_defaults_to_lower_is_better() {
+        let mut r = Report::new("drink-bench/test");
+        r.push("latency_row".into(), 100, 12.5);
+        r.push_throughput("serve_tput_hybrid_t8".into(), 5000, 31_250.0, 8);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back = Report::parse(&json).unwrap();
+        assert!(!back.rows[0].higher_is_better);
+        assert!(back.rows[1].higher_is_better);
+        assert_eq!(back.rows[1].threads, 8);
+
+        // Rows written before v5 carry no `higher_is_better` key; they must
+        // load in the direction they always gated in (lower is better).
+        let json = format!(
+            r#"{{"schema":"drink-bench/test","schema_version":{SCHEMA_VERSION},
+                 "rows":[{{"name":"r","iters":10,"ns_per_op":1.0,"advisory":false,"threads":2}}]}}"#
+        );
+        let r = Report::parse(&json).unwrap();
+        assert!(!r.rows[0].higher_is_better);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! on `chaosAdapt` (static matrix + adaptive engine agree while the online
 //! controller performs real demotions), the shard-skip oracle on
 //! `chaosShard` (epoch stamps match the spec's implied access footprint
-//! exactly), the record→replay oracle, and the region-serializability
+//! exactly), the serve-store oracle on `chaosServe` (every completed PUT
+//! visible at quiescence, final key values identical across engines), the
+//! record→replay oracle, and the region-serializability
 //! oracle. One
 //! seed determines both the workload's op streams and the chaos decision
 //! streams, so a failing cell is named by (workload, engine, seed) alone.
@@ -27,7 +29,7 @@ use std::process::ExitCode;
 
 use drink_check::{
     adapt_check, differential_check, read_mostly_check, replay_check, rs_check, run_cell,
-    shard_check, shrink, FailureArtifact, MATRIX_ENGINES,
+    serve_check, shard_check, shrink, FailureArtifact, MATRIX_ENGINES,
 };
 use drink_workloads::{
     chaos_adapt, chaos_disjoint, chaos_handoff, chaos_mix, chaos_rdsh, chaos_read_mostly,
@@ -192,6 +194,13 @@ fn run_oracles(seed: u64, artifact_dir: &std::path::Path) -> u32 {
     let shard = chaos_shard(seed);
     match shard_check(&shard, seed) {
         Ok(()) => println!("PASS {:<13} shard-skip oracle            seed={seed:#x}", shard.name),
+        Err(artifact) => {
+            failures += 1;
+            report_failure(artifact, artifact_dir);
+        }
+    }
+    match serve_check(seed) {
+        Ok(()) => println!("PASS {:<13} serve-store oracle           seed={seed:#x}", "chaosServe"),
         Err(artifact) => {
             failures += 1;
             report_failure(artifact, artifact_dir);

@@ -179,6 +179,17 @@ pub fn reproduce(artifact: &FailureArtifact) -> Result<RunResult, String> {
             Err(a) => Err(a.failure),
         };
     }
+    // Serve-oracle artifacts likewise describe the whole serve matrix; the
+    // embedded spec only records geometry, so re-run the oracle itself and
+    // fall back to a plain Hybrid cell for the Ok-path RunResult.
+    if artifact.engine == oracle::SERVE_ORACLE_ENGINE {
+        return match oracle::serve_check(artifact.seed) {
+            Ok(()) => run_cell(EngineKind::Hybrid, &artifact.spec, artifact.seed)
+                .map(|cell| cell.run)
+                .map_err(|a| a.failure),
+            Err(a) => Err(a.failure),
+        };
+    }
     let kind = kind_from_label(&artifact.engine)
         .ok_or_else(|| format!("unknown engine label `{}`", artifact.engine))?;
     let chaos = Arc::new(ChaosSched::new(artifact.seed, artifact.spec.threads));

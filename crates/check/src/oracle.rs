@@ -417,6 +417,138 @@ pub fn shard_check(spec: &WorkloadSpec, seed: u64) -> Result<(), FailureArtifact
     Ok(())
 }
 
+/// Artifact engine label for serve-oracle failures. Like the shard oracle,
+/// the failure is a property of the whole serve matrix (per-engine store
+/// checks plus cross-engine equality), so reproduction re-runs
+/// [`serve_check`] itself (see `harness::reproduce`).
+pub const SERVE_ORACLE_ENGINE: &str = "chaosServe";
+
+/// A [`WorkloadSpec`]-shaped description of the serve run, embedded in
+/// failure artifacts so they deserialize and print like every other
+/// artifact. The serve store is not driven by the workload driver — the
+/// spec records the geometry (threads / objects / monitors) and the seed;
+/// reproduction keys off [`SERVE_ORACLE_ENGINE`], not this spec.
+fn serve_spec(cfg: &drink_serve::ServeConfig, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::builder()
+        .name(SERVE_ORACLE_ENGINE)
+        .threads(cfg.workers)
+        .steps_per_thread(cfg.requests_per_worker as usize)
+        .shared_objects(cfg.keys)
+        .hot_objects(cfg.keys.min(8))
+        .monitors(cfg.monitors)
+        .locked_frac(1.0 - cfg.read_frac)
+        .racy_frac(cfg.read_frac)
+        .shared_read_frac(0.0)
+        .seed(seed)
+        .build()
+        .expect("serve geometry maps to a valid spec")
+}
+
+/// Run the serve store's chaos configuration under one engine with the
+/// chaos scheduler registered, catching worker panics. Returns the full
+/// serve result for the cross-engine comparison.
+fn run_serve_chaos(
+    kind: EngineKind,
+    cfg: &drink_serve::ServeConfig,
+    seed: u64,
+) -> Result<drink_serve::ServeResult, String> {
+    let mut cell = cfg.clone();
+    cell.engine = kind;
+    let chaos: Arc<dyn SchedHooks> = Arc::new(ChaosSched::new(seed, cell.workers));
+    let build = move || {
+        let mut rt = Runtime::new(cell.runtime_config());
+        rt.set_sched_hooks(chaos);
+        let rt = Arc::new(rt);
+        let r = drink_serve::run_serve_on(Arc::clone(&rt), &cell);
+        // Store-level linearizability first, then the engine-level heap scan:
+        // a lock-buffer leak can exist even when every PUT landed.
+        r.check_quiescent()?;
+        check_quiescent(&rt, kind.label())?;
+        Ok(r)
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(build)) {
+        Ok(r) => r,
+        Err(payload) => Err(payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic payload>".into())),
+    }
+}
+
+/// The serve-store oracle (DESIGN.md §15), run on the
+/// [`drink_serve::chaos_serve`] configuration — a write-heavy, hot-headed
+/// Zipf mix whose offered rate keeps every worker saturated, so the
+/// interleaving is decided by the chaos perturbations:
+///
+/// * **store linearizability at quiescence** — for every engine in the
+///   matrix (plus Adaptive), every completed PUT is visible: key `k`'s
+///   final sequence number equals the PUTs completed against it, its value
+///   carries its own tag, no GET ever observed a foreign tag, and the
+///   open-loop accounting balances with nothing in flight
+///   ([`drink_serve::ServeResult::check_quiescent`]);
+/// * **engine-level quiescence** — the runtime heap scan and coordination
+///   inbox checks that every chaos cell gets ([`check_quiescent`]);
+/// * **cross-engine agreement** — request streams are pure functions of
+///   (seed, worker), so `puts_per_key` and the final key values must be
+///   byte-identical across every engine; a divergence means a tracking
+///   engine lost or reordered a synchronized RMW.
+pub fn serve_check(seed: u64) -> Result<(), FailureArtifact> {
+    let cfg = drink_serve::chaos_serve(seed);
+    let spec = serve_spec(&cfg, seed);
+    let fail = |engine: String, failure: String| FailureArtifact {
+        seed,
+        engine,
+        spec: spec.clone(),
+        failure,
+        traces: Vec::new(),
+        events: Vec::new(),
+    };
+
+    let mut engines = MATRIX_ENGINES.to_vec();
+    engines.push(EngineKind::Adaptive);
+    let mut reference: Option<(EngineKind, Vec<u64>, Vec<u64>)> = None;
+    for kind in engines {
+        let r = run_serve_chaos(kind, &cfg, seed)
+            .map_err(|e| fail(SERVE_ORACLE_ENGINE.into(), format!("{}: {e}", kind.label())))?;
+        match &reference {
+            None => reference = Some((kind, r.puts_per_key, r.final_values)),
+            Some((k0, puts0, finals0)) => {
+                if *puts0 != r.puts_per_key {
+                    let k = puts0
+                        .iter()
+                        .zip(&r.puts_per_key)
+                        .position(|(a, b)| a != b)
+                        .unwrap_or(0);
+                    return Err(fail(
+                        SERVE_ORACLE_ENGINE.into(),
+                        format!(
+                            "PUT counts diverge between {} and {}: key {k} got {} vs {} \
+                             (a tracking engine lost or invented a synchronized RMW)",
+                            k0.label(),
+                            kind.label(),
+                            puts0[k],
+                            r.puts_per_key[k]
+                        ),
+                    ));
+                }
+                if *finals0 != r.final_values {
+                    return Err(fail(
+                        SERVE_ORACLE_ENGINE.into(),
+                        format!(
+                            "final key values diverge between {} and {} ({})",
+                            k0.label(),
+                            kind.label(),
+                            first_heap_divergence(finals0, &r.final_values)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn first_heap_divergence(a: &[u64], b: &[u64]) -> String {
     if a.len() != b.len() {
         return format!("lengths {} vs {}", a.len(), b.len());
@@ -628,6 +760,28 @@ mod tests {
             read_mostly_check(&chaos_read_mostly(seed), seed)
                 .unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
         }
+    }
+
+    /// The serve-store oracle on its intended configuration: every engine
+    /// (static matrix + adaptive) passes the store-linearizability quiescent
+    /// check under perturbation and all agree on the final key values.
+    #[test]
+    fn serve_oracle_holds_under_chaos() {
+        for seed in [0xA1u64, 0xA2] {
+            serve_check(seed).unwrap_or_else(|a| panic!("{}: {}", a.engine, a.failure));
+        }
+    }
+
+    /// The synthesized artifact spec validates and round-trips the geometry
+    /// the serve config describes.
+    #[test]
+    fn serve_artifact_spec_is_well_formed() {
+        let cfg = drink_serve::chaos_serve(0xA3);
+        let spec = serve_spec(&cfg, 0xA3);
+        assert_eq!(spec.name, SERVE_ORACLE_ENGINE);
+        assert_eq!(spec.threads, cfg.workers);
+        assert_eq!(spec.monitors, cfg.monitors);
+        spec.validate().expect("serve spec validates");
     }
 
     #[test]

@@ -16,17 +16,23 @@
 
 pub mod hybrid;
 pub mod ideal;
+pub mod kind;
 pub mod none;
 pub mod optimistic;
 pub mod pessimistic;
+
+pub use kind::{AnyEngine, DynTracker, EngineKind};
 
 use std::sync::Arc;
 
 use drink_runtime::{MonitorId, ObjId, Runtime, ThreadId};
 
 /// Uniform interface over the tracking engines, used by workload drivers and
-/// the `Session` façade. Statically dispatched everywhere (the fast paths
-/// must inline).
+/// the `Session` façade. Statically dispatched where a concrete engine type
+/// is in scope (the fast paths inline); deliberately **object-safe**, so
+/// binaries that select the engine at runtime erase it behind
+/// [`kind::AnyEngine`] / `Box<dyn Tracker>` instead of duplicating
+/// monomorphized dispatch arms.
 pub trait Tracker: Send + Sync {
     /// The runtime this engine instruments.
     fn rt(&self) -> &Arc<Runtime>;

@@ -68,11 +68,11 @@ pub mod prelude {
     pub use crate::engine::none::NoTracking;
     pub use crate::engine::optimistic::OptimisticEngine;
     pub use crate::engine::pessimistic::PessimisticEngine;
-    pub use crate::engine::Tracker;
+    pub use crate::engine::{AnyEngine, DynTracker, EngineKind, Tracker};
     pub use crate::policy::{AdaptivePolicy, PolicyParams};
     pub use crate::session::Session;
     pub use crate::support::{NullSupport, Support};
 }
 
-pub use engine::Tracker;
+pub use engine::{AnyEngine, DynTracker, EngineKind, Tracker};
 pub use session::Session;

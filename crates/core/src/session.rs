@@ -13,14 +13,21 @@ use crate::engine::Tracker;
 ///
 /// Not `Send`: the engine's per-thread state is owned by the attaching OS
 /// thread.
-pub struct Session<'e, T: Tracker> {
+///
+/// `T` may be unsized (`T: ?Sized`), so a session attaches equally to a
+/// concrete engine (statically dispatched, fast paths inlined) or to an
+/// erased one — `dyn Tracker` behind an
+/// [`AnyEngine`](crate::engine::AnyEngine) or a plain `Box<dyn Tracker>` —
+/// which is how runtime-selected engines (the serve store, the bench bins)
+/// drive the same façade.
+pub struct Session<'e, T: Tracker + ?Sized> {
     engine: &'e T,
     t: ThreadId,
     detached: bool,
     _not_send: std::marker::PhantomData<*const ()>,
 }
 
-impl<'e, T: Tracker> Session<'e, T> {
+impl<'e, T: Tracker + ?Sized> Session<'e, T> {
     /// Attach the calling thread to `engine`.
     pub fn attach(engine: &'e T) -> Self {
         let t = engine.attach();
@@ -108,7 +115,7 @@ impl<'e, T: Tracker> Session<'e, T> {
     }
 }
 
-impl<T: Tracker> Drop for Session<'_, T> {
+impl<T: Tracker + ?Sized> Drop for Session<'_, T> {
     fn drop(&mut self) {
         // A thread unwinding out of a tracked operation died mid-protocol:
         // its lock buffer, status word and read set are in an arbitrary

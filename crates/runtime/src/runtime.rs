@@ -77,17 +77,6 @@ impl Default for RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// Convenience constructor for the common (threads, objects, monitors)
-    /// triple.
-    #[deprecated(note = "use RuntimeConfig::builder()")]
-    pub fn sized(max_threads: usize, heap_objects: usize, monitors: usize) -> Self {
-        RuntimeConfig::builder()
-            .max_threads(max_threads)
-            .heap_objects(heap_objects)
-            .monitors(monitors)
-            .build()
-    }
-
     /// Start building a config from the defaults. The builder is the one
     /// supported construction path; every knob has a typed setter, so adding
     /// a field never breaks call sites the way struct literals did.
@@ -519,13 +508,9 @@ mod tests {
         assert_eq!(built.shards, 3);
         assert_eq!(built.shard_map().shards(), 4, "explicit shards round to pow2");
 
-        #[allow(deprecated)]
-        let legacy = RuntimeConfig::sized(5, 77, 3);
-        assert_eq!(legacy.max_threads, 5);
-        assert_eq!(legacy.heap_objects, 77);
-        assert_eq!(legacy.monitors, 3);
-        assert_eq!(legacy.trace_capacity, 0, "sized() keeps tracing off");
-        assert_eq!(legacy.coord_deadline, Duration::ZERO, "deadline off by default");
+        let defaults = RuntimeConfig::builder().max_threads(5).heap_objects(77).monitors(3).build();
+        assert_eq!(defaults.trace_capacity, 0, "tracing off unless asked for");
+        assert_eq!(defaults.coord_deadline, Duration::ZERO, "deadline off by default");
     }
 
     #[test]

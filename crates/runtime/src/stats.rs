@@ -330,11 +330,18 @@ pub enum LatencyKind {
     /// the same way; only contested reads record, so the zero-retry common
     /// case stays histogram-free).
     SeqlockRetries,
+    /// Service time of one request in the open-loop serve macro-bench
+    /// (`drink-serve`): dequeue → completion, the store work alone.
+    ServeService,
+    /// Sojourn time of one serve request: *arrival* → completion, so queueing
+    /// delay is included. Under open-loop load this — not service time — is
+    /// what a client of the store experiences (DESIGN.md §15).
+    ServeSojourn,
 }
 
 impl LatencyKind {
     /// Number of kinds; also the length of [`LatencyKind::ALL`].
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 6;
 
     /// Every kind, in discriminant order.
     pub const ALL: [LatencyKind; LatencyKind::COUNT] = [
@@ -342,6 +349,8 @@ impl LatencyKind {
         LatencyKind::FanoutComplete,
         LatencyKind::MonitorAcquire,
         LatencyKind::SeqlockRetries,
+        LatencyKind::ServeService,
+        LatencyKind::ServeSojourn,
     ];
 
     /// Short dotted name, matching the [`Event`] convention.
@@ -351,6 +360,8 @@ impl LatencyKind {
             LatencyKind::FanoutComplete => "latency.fanout_complete",
             LatencyKind::MonitorAcquire => "latency.monitor_acquire",
             LatencyKind::SeqlockRetries => "latency.seqlock_retries",
+            LatencyKind::ServeService => "latency.serve_service",
+            LatencyKind::ServeSojourn => "latency.serve_sojourn",
         }
     }
 }

@@ -55,11 +55,19 @@ pub enum Metric {
     MonitorAcquireP90,
     MonitorAcquireP99,
     MonitorAcquireMaxNs,
+    ServeServiceP50,
+    ServeServiceP90,
+    ServeServiceP99,
+    ServeServiceMaxNs,
+    ServeSojournP50,
+    ServeSojournP90,
+    ServeSojournP99,
+    ServeSojournMaxNs,
 }
 
 impl Metric {
     /// Every metric, in declaration order (for table printers).
-    pub const ALL: [Metric; 23] = [
+    pub const ALL: [Metric; 31] = [
         Metric::Accesses,
         Metric::OptSameState,
         Metric::OptConflicting,
@@ -83,6 +91,14 @@ impl Metric {
         Metric::MonitorAcquireP90,
         Metric::MonitorAcquireP99,
         Metric::MonitorAcquireMaxNs,
+        Metric::ServeServiceP50,
+        Metric::ServeServiceP90,
+        Metric::ServeServiceP99,
+        Metric::ServeServiceMaxNs,
+        Metric::ServeSojournP50,
+        Metric::ServeSojournP90,
+        Metric::ServeSojournP99,
+        Metric::ServeSojournMaxNs,
     ];
 
     /// Stable snake_case name for reports and JSON keys.
@@ -111,6 +127,14 @@ impl Metric {
             Metric::MonitorAcquireP90 => "monitor_acquire_p90_ns",
             Metric::MonitorAcquireP99 => "monitor_acquire_p99_ns",
             Metric::MonitorAcquireMaxNs => "monitor_acquire_max_ns",
+            Metric::ServeServiceP50 => "serve_service_p50_ns",
+            Metric::ServeServiceP90 => "serve_service_p90_ns",
+            Metric::ServeServiceP99 => "serve_service_p99_ns",
+            Metric::ServeServiceMaxNs => "serve_service_max_ns",
+            Metric::ServeSojournP50 => "serve_sojourn_p50_ns",
+            Metric::ServeSojournP90 => "serve_sojourn_p90_ns",
+            Metric::ServeSojournP99 => "serve_sojourn_p99_ns",
+            Metric::ServeSojournMaxNs => "serve_sojourn_max_ns",
         }
     }
 
@@ -156,6 +180,14 @@ impl Metric {
             Metric::MonitorAcquireP90 => pct(LatencyKind::MonitorAcquire, 90.0),
             Metric::MonitorAcquireP99 => pct(LatencyKind::MonitorAcquire, 99.0),
             Metric::MonitorAcquireMaxNs => r.latency(LatencyKind::MonitorAcquire).max() as f64,
+            Metric::ServeServiceP50 => pct(LatencyKind::ServeService, 50.0),
+            Metric::ServeServiceP90 => pct(LatencyKind::ServeService, 90.0),
+            Metric::ServeServiceP99 => pct(LatencyKind::ServeService, 99.0),
+            Metric::ServeServiceMaxNs => r.latency(LatencyKind::ServeService).max() as f64,
+            Metric::ServeSojournP50 => pct(LatencyKind::ServeSojourn, 50.0),
+            Metric::ServeSojournP90 => pct(LatencyKind::ServeSojourn, 90.0),
+            Metric::ServeSojournP99 => pct(LatencyKind::ServeSojourn, 99.0),
+            Metric::ServeSojournMaxNs => r.latency(LatencyKind::ServeSojourn).max() as f64,
         }
     }
 }

@@ -1,0 +1,165 @@
+//! The KV/session store: every shared access goes through the engine-erased
+//! [`Session`] façade.
+//!
+//! The store is deliberately tiny — a fixed key space where key `k` lives in
+//! tracked object `k` and is guarded by monitor `k % monitors` — because the
+//! point is not the data structure but the *access discipline*: PUTs are
+//! `synchronized` read-modify-writes (well-synchronized sharing, the
+//! deferred-unlock friendly case), GETs are unsynchronized tracked reads
+//! (the RdSh/seqlock case, racy by design). Crucially, the store is written
+//! once against `Session<'_, AnyEngine>`: there is **no per-engine code** in
+//! here — which engine tracks the accesses is decided at runtime by
+//! [`EngineKind::build`](drink_core::EngineKind::build).
+//!
+//! ## Value encoding (the linearizability tag)
+//!
+//! A key's payload is `((k + 1) << 32) | seq`: the upper half names the key
+//! (1-based, so 0 still means "never written"), the lower half counts the
+//! PUTs applied to it. The encoding gives the quiescent oracle two teeth:
+//!
+//! * **lost-update check** — under the per-key monitor, PUT seq numbers are
+//!   a contended counter; at quiescence `seq(k)` must equal the number of
+//!   completed PUTs to `k` across all workers;
+//! * **cross-key smear check** — any GET (racy!) must still observe a value
+//!   whose tag is its own key or zero; a torn/foreign value means tracked
+//!   reads leaked another object's payload.
+
+use drink_core::engine::AnyEngine;
+use drink_core::{Session, Tracker};
+use drink_runtime::{MonitorId, ObjId};
+
+/// Key-space geometry of the store (no per-session state; workers share one
+/// by reference).
+#[derive(Clone, Copy, Debug)]
+pub struct KvStore {
+    keys: usize,
+    monitors: usize,
+}
+
+/// What a completed GET observed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GetOutcome {
+    /// Key never written yet.
+    Empty,
+    /// A value carrying the key's own tag; payload is the PUT sequence
+    /// number observed.
+    Value(u32),
+    /// A value whose tag belongs to a different key (or a torn mix) — a
+    /// store-consistency violation the oracle fails on.
+    ForeignTag(u64),
+}
+
+impl KvStore {
+    /// A store over `keys` keys guarded by `monitors` monitors. The engine's
+    /// runtime must be sized with at least that many heap objects and
+    /// monitors.
+    pub fn new(keys: usize, monitors: usize) -> Self {
+        assert!(keys >= 1 && monitors >= 1);
+        KvStore { keys, monitors }
+    }
+
+    /// Number of keys.
+    pub fn keys(&self) -> usize {
+        self.keys
+    }
+
+    /// The tracked object holding key `k`.
+    #[inline]
+    fn obj(&self, k: usize) -> ObjId {
+        debug_assert!(k < self.keys);
+        ObjId(k as u32)
+    }
+
+    /// The monitor guarding key `k`'s PUT path.
+    #[inline]
+    fn guard(&self, k: usize) -> MonitorId {
+        MonitorId((k % self.monitors) as u32)
+    }
+
+    /// The tag half of key `k`'s value encoding.
+    #[inline]
+    pub fn tag(k: usize) -> u64 {
+        ((k as u64) + 1) << 32
+    }
+
+    /// Split a raw payload into (tag, seq).
+    #[inline]
+    pub fn decode(v: u64) -> (u64, u32) {
+        (v >> 32, v as u32)
+    }
+
+    /// Install the initial (empty) value of every key from the allocating
+    /// session's thread. Keys start read-shared: a session store's keys are
+    /// read by every worker from the first request on, which is exactly the
+    /// long-lived read-mostly shape `alloc_init_read_shared` models.
+    pub fn init(&self, engine: &AnyEngine) {
+        for k in 0..self.keys {
+            engine.alloc_init_read_shared(self.obj(k));
+        }
+    }
+
+    /// PUT: a `synchronized` read-modify-write bumping the key's sequence
+    /// number. Returns the sequence number this PUT installed (1-based).
+    pub fn put(&self, sess: &Session<'_, AnyEngine>, k: usize) -> u32 {
+        let (obj, guard) = (self.obj(k), self.guard(k));
+        sess.synchronized(guard, |s| {
+            let (_, seq) = Self::decode(s.read(obj));
+            let next = seq.wrapping_add(1);
+            s.write(obj, Self::tag(k) | u64::from(next));
+            next
+        })
+    }
+
+    /// GET: an unsynchronized tracked read, classified against the key's
+    /// tag. Racy with concurrent PUTs by design — the tracking engine, not
+    /// the store, is responsible for making the access well-defined.
+    pub fn get(&self, sess: &Session<'_, AnyEngine>, k: usize) -> GetOutcome {
+        let v = sess.read(self.obj(k));
+        if v == 0 {
+            return GetOutcome::Empty;
+        }
+        let (tag, seq) = Self::decode(v);
+        if tag == Self::tag(k) >> 32 {
+            GetOutcome::Value(seq)
+        } else {
+            GetOutcome::ForeignTag(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drink_core::EngineKind;
+    use drink_runtime::RuntimeConfig;
+
+    #[test]
+    fn put_get_roundtrip_on_every_engine_kind() {
+        for kind in EngineKind::ALL {
+            let engine = kind.build_config(
+                RuntimeConfig::builder()
+                    .max_threads(2)
+                    .heap_objects(8)
+                    .monitors(2)
+                    .build(),
+            );
+            let store = KvStore::new(8, 2);
+            store.init(&engine);
+            let sess = Session::attach(&engine);
+            assert_eq!(store.get(&sess, 3), GetOutcome::Empty, "{kind:?}");
+            assert_eq!(store.put(&sess, 3), 1);
+            assert_eq!(store.put(&sess, 3), 2);
+            assert_eq!(store.get(&sess, 3), GetOutcome::Value(2), "{kind:?}");
+            assert_eq!(store.get(&sess, 4), GetOutcome::Empty, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn tags_separate_keys() {
+        assert_ne!(KvStore::tag(0), 0, "key 0 still gets a nonzero tag");
+        assert_ne!(KvStore::tag(1), KvStore::tag(2));
+        let (tag, seq) = KvStore::decode(KvStore::tag(5) | 7);
+        assert_eq!(tag, 6);
+        assert_eq!(seq, 7);
+    }
+}

@@ -17,6 +17,11 @@ use drink_core::policy::AdaptivePolicy;
 use drink_core::prelude::*;
 use drink_runtime::{Runtime, RuntimeConfig, StatsReport};
 
+// The engine-selection enum lives in `drink_core` (one parser, one
+// constructor, the erased `AnyEngine` wrapper); re-exported here because the
+// workload driver is where most downstream code historically imported it.
+pub use drink_core::engine::EngineKind;
+
 use crate::spec::{Op, WorkloadSpec};
 
 /// Everything one workload run produces.
@@ -99,7 +104,7 @@ pub fn local_work(n: u32) {
 
 /// Execute one thread's op sequence through a session. Returns the thread's
 /// final accumulator (a determinism witness of the values it observed).
-pub fn execute_ops<T: Tracker>(sess: &Session<'_, T>, ops: &[Op]) -> u64 {
+pub fn execute_ops<T: Tracker + ?Sized>(sess: &Session<'_, T>, ops: &[Op]) -> u64 {
     let mut acc: u64 = u64::from(sess.tid().raw()) + 1;
     for op in ops {
         match *op {
@@ -125,7 +130,13 @@ pub fn execute_ops<T: Tracker>(sess: &Session<'_, T>, ops: &[Op]) -> u64 {
 
 /// Run `spec` on `engine`. The engine's runtime must be sized by
 /// [`runtime_for`] (or larger).
-pub fn run_workload<T: Tracker>(engine: &T, spec: &WorkloadSpec) -> RunResult {
+pub fn run_workload<T: Tracker + ?Sized>(engine: &T, spec: &WorkloadSpec) -> RunResult {
+    // Specs built through `WorkloadSpec::builder()` are already validated;
+    // this re-check catches struct-literal and deserialized specs before the
+    // op expansion can hit a modulo-by-zero or an oversized hot set.
+    if let Err(e) = spec.validate() {
+        panic!("{e}");
+    }
     let rt = engine.rt();
     assert!(rt.heap().len() >= spec.heap_objects(), "heap too small");
     assert!(rt.config().max_threads >= spec.threads, "too few thread slots");
@@ -185,53 +196,6 @@ pub fn run_workload<T: Tracker>(engine: &T, spec: &WorkloadSpec) -> RunResult {
     }
 }
 
-/// The engine configurations of Figure 7.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum EngineKind {
-    /// Unmodified runtime (overhead baseline).
-    Baseline,
-    /// Pessimistic tracking (§2.1).
-    Pessimistic,
-    /// Optimistic tracking (§2.2).
-    Optimistic,
-    /// Hybrid tracking with the paper's default policy (§3/§6).
-    Hybrid,
-    /// Hybrid tracking with `Cutoff_confl = ∞` (costs-only configuration).
-    HybridInfiniteCutoff,
-    /// Optimistic tracking steered by the online EWMA demotion controller
-    /// (`drink_core::adapt`): starts everywhere-optimistic like
-    /// [`EngineKind::Optimistic`], but per-object coordination-cost feedback
-    /// demotes hot objects to the pessimistic protocol (and promotes them
-    /// back when the mix turns read-mostly).
-    Adaptive,
-    /// The unsound "Ideal" upper-bound estimate (§7.5).
-    Ideal,
-}
-
-impl EngineKind {
-    /// All configurations, in Figure 7's legend order (baseline excluded).
-    pub const FIGURE7: [EngineKind; 5] = [
-        EngineKind::Pessimistic,
-        EngineKind::Optimistic,
-        EngineKind::HybridInfiniteCutoff,
-        EngineKind::Hybrid,
-        EngineKind::Ideal,
-    ];
-
-    /// Display name matching the paper's legend.
-    pub fn label(self) -> &'static str {
-        match self {
-            EngineKind::Baseline => "Baseline",
-            EngineKind::Pessimistic => "Pessimistic tracking",
-            EngineKind::Optimistic => "Optimistic tracking",
-            EngineKind::Hybrid => "Hybrid tracking",
-            EngineKind::HybridInfiniteCutoff => "Hybrid tracking w/infinite cutoff",
-            EngineKind::Adaptive => "Adaptive (online demotion)",
-            EngineKind::Ideal => "Ideal",
-        }
-    }
-}
-
 /// Construct a fresh runtime + engine of the given kind and run `spec` on it.
 pub fn run_kind(kind: EngineKind, spec: &WorkloadSpec) -> RunResult {
     run_kind_on(kind, runtime_for(spec), spec)
@@ -240,38 +204,13 @@ pub fn run_kind(kind: EngineKind, spec: &WorkloadSpec) -> RunResult {
 /// Run `spec` under `kind` on a caller-provided runtime (which must be sized
 /// by [`runtime_config_for`] or larger; the chaos harness uses this to
 /// register schedule hooks before the runtime is shared).
+///
+/// Engine construction and naming live entirely behind the erased
+/// [`EngineKind::build`] path — this function has no per-engine arms. (The
+/// adaptive kind reports as `"adaptive"` because [`drink_core::AnyEngine`]
+/// carries the kind-aware name, not because anything is patched up here.)
 pub fn run_kind_on(kind: EngineKind, rt: Arc<Runtime>, spec: &WorkloadSpec) -> RunResult {
-    match kind {
-        EngineKind::Baseline => run_workload(&NoTracking::new(rt), spec),
-        EngineKind::Pessimistic => run_workload(&PessimisticEngine::new(rt), spec),
-        EngineKind::Optimistic => run_workload(&OptimisticEngine::new(rt), spec),
-        EngineKind::Hybrid => run_workload(&HybridEngine::new(rt), spec),
-        EngineKind::HybridInfiniteCutoff => run_workload(
-            &HybridEngine::with_config(
-                rt,
-                NullSupport,
-                drink_core::engine::hybrid::HybridConfig::infinite_cutoff(),
-            ),
-            spec,
-        ),
-        EngineKind::Adaptive => {
-            // Same construction as `OptimisticEngine` (hybrid at infinite
-            // cutoff + the online controller), surfaced as its own kind so
-            // bench tables and chaos matrices can gate the controller under
-            // its own label.
-            let mut r = run_workload(
-                &HybridEngine::with_config(
-                    rt,
-                    NullSupport,
-                    drink_core::engine::hybrid::HybridConfig::adaptive(),
-                ),
-                spec,
-            );
-            r.engine = "adaptive";
-            r
-        }
-        EngineKind::Ideal => run_workload(&IdealEngine::new(rt), spec),
-    }
+    run_workload(&kind.build(rt), spec)
 }
 
 #[cfg(test)]
@@ -281,10 +220,7 @@ mod tests {
     use drink_runtime::Event;
 
     fn small_spec() -> WorkloadSpec {
-        WorkloadSpec {
-            steps_per_thread: 2_000,
-            ..WorkloadSpec::default()
-        }
+        WorkloadSpec::builder().steps_per_thread(2_000).build().unwrap()
     }
 
     #[test]
@@ -314,11 +250,11 @@ mod tests {
     fn single_threaded_runs_are_heap_deterministic_across_engines() {
         // With one thread there are no cross-thread dependences: every engine
         // must produce the identical final heap.
-        let spec = WorkloadSpec {
-            threads: 1,
-            steps_per_thread: 3_000,
-            ..WorkloadSpec::default()
-        };
+        let spec = WorkloadSpec::builder()
+            .threads(1)
+            .steps_per_thread(3_000)
+            .build()
+            .unwrap();
         let base = run_kind(EngineKind::Baseline, &spec);
         for kind in EngineKind::FIGURE7 {
             let r = run_kind(kind, &spec);
@@ -361,11 +297,11 @@ mod tests {
 
     #[test]
     fn conflict_cdf_is_monotone_and_bounded() {
-        let spec = WorkloadSpec {
-            racy_frac: 0.05,
-            steps_per_thread: 4_000,
-            ..WorkloadSpec::default()
-        };
+        let spec = WorkloadSpec::builder()
+            .racy_frac(0.05)
+            .steps_per_thread(4_000)
+            .build()
+            .unwrap();
         let r = run_kind(EngineKind::Optimistic, &spec);
         let mut prev = 0.0;
         for x in [1, 2, 4, 8, 16, 64, 1024, u32::MAX] {
@@ -385,14 +321,14 @@ mod tests {
         // The core claim of the paper, at workload scale: hybrid tracking
         // converts repeated conflicts on hot objects into pessimistic
         // transitions.
-        let spec = WorkloadSpec {
-            name: "hot-racy".into(),
-            racy_frac: 0.30,
-            hot_objects: 4,
-            local_work: 6,
-            steps_per_thread: 8_000,
-            ..WorkloadSpec::default()
-        };
+        let spec = WorkloadSpec::builder()
+            .name("hot-racy")
+            .racy_frac(0.30)
+            .hot_objects(4)
+            .local_work(6)
+            .steps_per_thread(8_000)
+            .build()
+            .unwrap();
         // The comparison is against *static* Octet (∞ cutoff): the default
         // Optimistic kind now runs the demotion controller (DESIGN.md §13),
         // which cuts the same conflicts this test credits to the §6 valve —
@@ -411,14 +347,14 @@ mod tests {
 
     #[test]
     fn drf_workload_has_no_contended_transitions() {
-        let spec = WorkloadSpec {
-            name: "drf".into(),
-            racy_frac: 0.0,
-            shared_read_frac: 0.0,
-            locked_frac: 0.10,
-            steps_per_thread: 5_000,
-            ..WorkloadSpec::default()
-        };
+        let spec = WorkloadSpec::builder()
+            .name("drf")
+            .racy_frac(0.0)
+            .shared_read_frac(0.0)
+            .locked_frac(0.10)
+            .steps_per_thread(5_000)
+            .build()
+            .unwrap();
         let hyb = run_kind(EngineKind::Hybrid, &spec);
         assert_eq!(
             hyb.report.get(Event::PessContended),

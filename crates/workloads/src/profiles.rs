@@ -415,6 +415,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn every_profile_spec_validates() {
+        // The profile table is built from struct literals (update syntax over
+        // `base()`), so the builder's invariants are re-checked here.
+        for p in all() {
+            p.spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.spec.name));
+        }
+    }
+
+    #[test]
     fn thirteen_profiles_in_table_2_order() {
         let names: Vec<String> = all().into_iter().map(|p| p.spec.name).collect();
         assert_eq!(

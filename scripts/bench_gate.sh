@@ -1,12 +1,16 @@
 #!/bin/bash
 # Bench gate: release build + tier-1 tests + chaos check gate + the two
-# fixed-iteration microbenches (hot path, multi-thread contention), each
-# compared against the checked-in baseline JSON by `bench_compare`. The gate
-# fails on build/test/check failure or when any bench row's median regresses
-# more than BENCH_GATE_THRESHOLD percent (default 25) against its baseline;
-# on success the refreshed JSONs are moved into place for commit.
+# fixed-iteration microbenches (hot path, multi-thread contention) + the
+# open-loop serve macrobench, each compared against the checked-in baseline
+# JSON by `bench_compare`. The gate fails on build/test/check failure or
+# when any bench row's median regresses more than BENCH_GATE_THRESHOLD
+# percent (default 25) against its baseline (the serve macrobench uses its
+# own BENCH_GATE_SERVE_THRESHOLD, default 100: its rows are best-of-trials
+# extremes quantized by log2 latency buckets on a noisy shared host, so only
+# a binary-order-of-magnitude regression is signal); on success the
+# refreshed JSONs are moved into place for commit.
 #
-#   scripts/bench_gate.sh [hotpath_out.json] [contention_out.json]
+#   scripts/bench_gate.sh [hotpath_out.json] [contention_out.json] [serve_out.json]
 #
 # A missing baseline (first run of a new bench) skips the comparison for
 # that report; fixed iteration counts make runs directly comparable across
@@ -16,7 +20,9 @@ cd "$(dirname "$0")/.."
 
 HOTPATH_OUT="${1:-BENCH_hotpath.json}"
 CONTENTION_OUT="${2:-BENCH_contention.json}"
+SERVE_OUT="${3:-BENCH_serve.json}"
 THRESHOLD="${BENCH_GATE_THRESHOLD:-25}"
+SERVE_THRESHOLD="${BENCH_GATE_SERVE_THRESHOLD:-100}"
 
 echo "=== bench_gate: release build"
 cargo build --release
@@ -67,5 +73,25 @@ run_and_compare hotpath "$HOTPATH_OUT" \
 run_and_compare contention "$CONTENTION_OUT" \
     --scaling rdsh_conflict_fanout_:6.0 \
     --scaling rdsh_conflict_fanout_skip_:2.0
+
+# The open-loop KV-store macrobench (DESIGN.md §15). The smoke leg proves
+# the rate-limited pacing path, store-linearizability check and report
+# round trip end to end; the bench leg emits the gated matrix (4 engines x
+# {8,16} workers: saturated throughput, higher-is-better, plus p99 sojourn).
+echo "=== bench_gate: drink-serve smoke"
+SERVE_SMOKE_TMP="$(mktemp /tmp/SERVE_smoke.XXXXXX.json)"
+./target/release/drink-serve --smoke "$SERVE_SMOKE_TMP"
+rm -f "$SERVE_SMOKE_TMP"
+
+SERVE_TMP="$(mktemp /tmp/BENCH_serve.XXXXXX.json)"
+echo "=== bench_gate: drink-serve macrobench -> $SERVE_OUT"
+./target/release/drink-serve --bench "$SERVE_TMP" --trials 3
+if [ -f "$SERVE_OUT" ]; then
+    echo "=== bench_gate: drink-serve vs baseline $SERVE_OUT (threshold ${SERVE_THRESHOLD}%)"
+    ./target/release/bench_compare "$SERVE_OUT" "$SERVE_TMP" --threshold "$SERVE_THRESHOLD"
+else
+    echo "=== bench_gate: no baseline $SERVE_OUT; skipping comparison"
+fi
+mv "$SERVE_TMP" "$SERVE_OUT"
 
 echo "=== bench_gate: OK"

@@ -19,6 +19,7 @@ fn fat_lock_spec() -> WorkloadSpec {
         local_objects: 8,
         monitors: 1,
         locked_frac: 1.0,
+        shared_read_frac: 0.0, // every step is a CS; no read-region slice
         cs_len: 2,
         cs_work: 2_000,
         local_work: 0,
